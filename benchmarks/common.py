@@ -1,0 +1,104 @@
+"""Shared infrastructure for the per-figure benchmark modules.
+
+Every module in ``benchmarks/`` regenerates one table or figure of the
+paper: it runs the required (design, workload, config) simulations,
+prints the same rows/series the paper plots, and sanity-checks the
+qualitative *shape* (who wins, roughly by how much, where the trend
+bends).  Absolute numbers are not expected to match the paper — the
+substrate is a reduced-scale Python simulator, not the authors' zsim
+testbed; see EXPERIMENTS.md for the per-figure comparison.
+
+Simulations are memoized per session: the overview figures (6/7/8/9)
+share one run matrix instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import repro
+from repro.analysis.metrics import RunResult
+from repro.config import SystemConfig, experiment_config
+from repro.workloads.base import Workload
+
+#: figure order used throughout the paper
+DESIGNS = ("B", "Sm", "Sl", "Sh", "C", "O")
+ALL_WORKLOADS = repro.ALL_WORKLOADS
+DETAIL_WORKLOADS = repro.DETAIL_WORKLOADS
+
+_run_cache: Dict[Tuple, RunResult] = {}
+_workload_cache: Dict[str, Workload] = {}
+
+
+def get_workload(name: str) -> Workload:
+    """One shared workload instance per name (same dataset everywhere)."""
+    if name not in _workload_cache:
+        _workload_cache[name] = repro.make_workload(name)
+    return _workload_cache[name]
+
+
+def run(design: str, workload: str,
+        config: Optional[SystemConfig] = None,
+        config_key: Tuple = ()) -> RunResult:
+    """Memoized simulation of one (design, workload, config) point."""
+    key = (design, workload) + tuple(config_key)
+    if key not in _run_cache:
+        _run_cache[key] = repro.simulate(
+            design, get_workload(workload), config
+        )
+    return _run_cache[key]
+
+
+def run_all_designs(workload: str) -> Dict[str, RunResult]:
+    """The default-config run matrix row for one workload."""
+    return {d: run(d, workload) for d in DESIGNS}
+
+
+def scheduler_config(**kwargs) -> SystemConfig:
+    """experiment_config with scheduler fields overridden."""
+    cfg = experiment_config()
+    return cfg.with_(
+        scheduler=dataclasses.replace(cfg.scheduler, **kwargs)
+    ).validate()
+
+
+def cache_config(**kwargs) -> SystemConfig:
+    """experiment_config with Traveller Cache fields overridden."""
+    cfg = experiment_config()
+    return cfg.with_(
+        cache=dataclasses.replace(cfg.cache, **kwargs)
+    ).validate()
+
+
+#: Per-unit memory used by the cache-pressure sweeps (Figures 11/14/15).
+#: At the reproduction's dataset sizes, full 512 MB units leave even the
+#: smallest cache fraction overprovisioned; scaling the memory puts the
+#: cache/working-set ratio back in the paper's regime (EXPERIMENTS.md).
+SCALED_UNIT_BYTES = 512 * 1024
+
+
+def pressured_cache_config(**cache_overrides) -> SystemConfig:
+    """experiment_config with scaled per-unit memory (cache-set
+    pressure) and optional Traveller Cache overrides."""
+    from repro.config import MemoryConfig
+
+    cfg = experiment_config(
+        memory=MemoryConfig(
+            capacity_per_unit=SCALED_UNIT_BYTES, service_ns=0.0
+        )
+    )
+    if cache_overrides:
+        cfg = cfg.with_(
+            cache=dataclasses.replace(cfg.cache, **cache_overrides)
+        )
+    return cfg.validate()
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are long (seconds); statistical repetition would
+    multiply the suite's runtime for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

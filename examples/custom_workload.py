@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Porting your own application onto the ABNDP task model.
+
+Implements a small *histogram* workload from scratch against the public
+API: tasks scan chunks of a skewed record array and increment shared
+bucket counters.  The buckets are Zipf-popular, so a few bucket
+cachelines are read by most tasks — exactly the hot-data pattern the
+Traveller Cache targets.
+
+The walkthrough shows everything a port needs:
+
+1. allocate primary data through ``system.allocator()``;
+2. build root tasks whose hints list the exact addresses they touch;
+3. let task bodies do the real computation (and optionally spawn
+   children with ``ctx.enqueue_task``);
+4. apply bulk updates in ``on_barrier``;
+5. ``verify`` against an independent reference.
+
+Run:  python examples/custom_workload.py
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+import repro
+from repro.runtime.task import Task, TaskHint
+from repro.workloads.base import Workload
+from repro.workloads.datasets import zipf_choices
+
+
+@dataclass
+class HistogramState:
+    values: np.ndarray          # record -> bucket id
+    record_addrs: np.ndarray
+    bucket_addrs: np.ndarray
+    counts: np.ndarray
+    chunk: int
+    passes: int
+    home_of_chunk: List[int] = field(default_factory=list)
+
+
+def _task_histogram(ctx, start: int) -> None:
+    st: HistogramState = ctx.state
+    stop = min(len(st.values), start + st.chunk)
+    for bucket in st.values[start:stop]:
+        st.counts[bucket] += 1
+    if ctx.timestamp + 1 < st.passes:
+        ctx.enqueue_task(
+            _task_histogram,
+            ctx.timestamp + 1,
+            _hint_for(st, start),
+            start,
+            compute_cycles=30.0 + 4.0 * (stop - start),
+        )
+
+
+def _hint_for(st: HistogramState, start: int) -> TaskHint:
+    stop = min(len(st.values), start + st.chunk)
+    buckets = np.unique(st.values[start:stop])
+    addrs = np.concatenate(
+        ([st.record_addrs[start]], st.bucket_addrs[buckets])
+    )
+    return TaskHint(addresses=addrs)
+
+
+class HistogramWorkload(Workload):
+    """Chunked histogram over Zipf-distributed bucket ids."""
+
+    name = "histogram"
+
+    def __init__(self, records: int = 65536, buckets: int = 512,
+                 chunk: int = 32, passes: int = 3, skew: float = 1.1,
+                 seed: int = 99):
+        rng = np.random.default_rng(seed)
+        self.values = zipf_choices(buckets, records, skew, rng)
+        self.buckets = buckets
+        self.chunk = chunk
+        self.passes = passes
+
+    def setup(self, system) -> HistogramState:
+        alloc = system.allocator()
+        # Records: blocked ranges (each chunk lives in one unit).
+        records = alloc.alloc(
+            "hist_records", len(self.values), elem_bytes=8, layout="blocked"
+        )
+        # Buckets: spread round-robin; the popular ones become hot.
+        buckets = alloc.alloc(
+            "hist_buckets", self.buckets, elem_bytes=8, layout="round_robin"
+        )
+        return HistogramState(
+            values=self.values,
+            record_addrs=records.addresses,
+            bucket_addrs=buckets.addresses,
+            counts=np.zeros(self.buckets, dtype=np.int64),
+            chunk=self.chunk,
+            passes=self.passes,
+        )
+
+    def root_tasks(self, state: HistogramState) -> List[Task]:
+        tasks = []
+        for start in range(0, len(state.values), state.chunk):
+            hint = _hint_for(state, start)
+            tasks.append(Task(
+                func=_task_histogram,
+                timestamp=0,
+                hint=hint,
+                args=(start,),
+                compute_cycles=30.0 + 4.0 * state.chunk,
+            ))
+        return tasks
+
+    def verify(self, state: HistogramState) -> None:
+        expected = np.bincount(self.values, minlength=self.buckets)
+        expected = expected * self.passes
+        if not np.array_equal(state.counts, expected):
+            raise AssertionError("histogram counts are wrong")
+
+
+def main() -> None:
+    workload = HistogramWorkload()
+    print("Custom histogram workload on the Table 2 designs:")
+    results = repro.compare_designs(("B", "Sl", "O"), workload)
+    base = results["B"]
+    for design, r in results.items():
+        print(f"  {design:3} speedup={r.speedup_over(base):5.2f}  "
+              f"hops={r.inter_hops:9,}  imbalance={r.load_imbalance():5.2f}  "
+              f"hit={r.cache.hit_rate:.0%}")
+
+    # Check the answer on a fresh run of the most complex design.
+    repro.simulate("O", HistogramWorkload(), verify=True)
+    print("\nO run verified against numpy's bincount reference.")
+
+
+if __name__ == "__main__":
+    main()

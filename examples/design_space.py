@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Design-space exploration: the Table 2 matrix on a chosen workload.
+
+Runs every evaluated design (B, Sm, Sl, Sh, C, O) on one workload and
+prints the paper's key metrics side by side — the quickest way to see
+the remote-access / load-balance tradeoff the paper is about:
+
+* Sm (lowest-distance) trims hops but concentrates load;
+* Sl (work stealing) balances load but pays hops back;
+* Sh (hybrid) balances with a bounded distance budget;
+* C  (Traveller Cache alone) has the fewest hops but no balance;
+* O  (ABNDP) combines both.
+
+Run:  python examples/design_space.py [workload]
+      (workload is one of pr, bfs, sssp, astar, gcn, kmeans, knn, spmv;
+       default: knn — the most design-sensitive one)
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "knn"
+    if name not in repro.ALL_WORKLOADS:
+        raise SystemExit(
+            f"unknown workload {name!r}; pick one of {repro.ALL_WORKLOADS}"
+        )
+
+    print(f"Exploring the Table 2 design space on {name!r}...")
+    workload = repro.make_workload(name)
+    results = repro.compare_designs(repro.ALL_DESIGNS, workload)
+    base = results["B"]
+
+    header = (f"{'design':7} {'speedup':>8} {'hops/B':>8} {'imbal':>7} "
+              f"{'energy/B':>9} {'cache hit':>10} {'steals':>8}")
+    print()
+    print(header)
+    print("-" * len(header))
+    for design, r in results.items():
+        hops = r.hops_ratio_over(base) if base.inter_hops else 0.0
+        print(f"{design:7} {r.speedup_over(base):8.2f} {hops:8.2f} "
+              f"{r.load_imbalance():7.2f} {r.energy_ratio_over(base):9.2f} "
+              f"{r.cache.hit_rate:10.0%} {r.steals:8}")
+
+    print()
+    for design, r in results.items():
+        point = repro.DESIGN_POINTS[design]
+        print(f"  {design:3} = {point.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Calibration sweep: find generator/model parameters whose PageRank
+design ordering best matches the paper's Figure 6/8 shape.
+
+Target shape (paper, pr-ish):
+  speedups:  Sm ~0.86, Sl ~1.14, Sh ~1.23, C ~1.0, O ~1.7
+  hops:      Sm ~0.93, Sl ~1.5-2.0, Sh ~1.45, C ~0.79, O ~0.9
+"""
+
+import dataclasses
+import itertools
+import sys
+
+import numpy as np
+
+import repro
+from repro.config import experiment_config, SramConfig, MemoryConfig
+from repro.workloads.datasets import community_powerlaw_graph
+from repro.workloads.pagerank import PageRankWorkload
+
+TARGET_SPD = {"Sm": 0.86, "Sl": 1.14, "Sh": 1.23, "C": 1.0, "O": 1.7}
+TARGET_HOP = {"Sm": 0.93, "Sl": 1.7, "Sh": 1.45, "C": 0.79, "O": 0.9}
+
+
+def score(res, base):
+    s = 0.0
+    for d, t in TARGET_SPD.items():
+        s += (np.log(res[d].speedup_over(base)) - np.log(t)) ** 2
+    for d, t in TARGET_HOP.items():
+        s += 0.5 * (np.log(max(1e-6, res[d].hops_ratio_over(base))) - np.log(t)) ** 2
+    return s
+
+
+def run(intra, hubf, nhubs, service, hide, alpha, interval, n=2048, m=10):
+    g = community_powerlaw_graph(
+        n, m, communities=128, intra_fraction=intra,
+        num_hubs=nhubs, hub_edge_fraction=hubf, hub_skew=0.4,
+    )
+    pr = PageRankWorkload(graph=g)
+    cfg = experiment_config(
+        sram=SramConfig(l1d_bytes=2048, prefetch_buffer_bytes=256),
+        memory=MemoryConfig(service_ns=service),
+    )
+    cfg = cfg.with_(scheduler=dataclasses.replace(
+        cfg.scheduler, exchange_interval_cycles=interval,
+        hybrid_alpha=alpha, prefetch_hide_fraction=hide))
+    base = repro.simulate("B", pr, cfg)
+    res = {d: repro.simulate(d, pr, cfg) for d in ["Sm", "Sl", "Sh", "C", "O"]}
+    return base, res
+
+
+def main():
+    grid = list(itertools.product(
+        [0.2, 0.35],          # intra
+        [0.8],                # hub fraction
+        [128],                # num hubs
+        [0.0, 3.0],           # service_ns (0 = contention off)
+        [0.6, 0.8],           # hide
+        [3.0],                # alpha
+        [250],                # interval
+    ))
+    results = []
+    for params in grid:
+        try:
+            base, res = run(*params)
+        except Exception as e:  # keep sweeping
+            print(f"params={params} FAILED: {e}", flush=True)
+            continue
+        sc = score(res, base)
+        row = " ".join(
+            f"{d}:{res[d].speedup_over(base):.2f}/{res[d].hops_ratio_over(base):.2f}"
+            for d in ["Sm", "Sl", "Sh", "C", "O"]
+        )
+        print(f"score={sc:6.3f} intra={params[0]} hubs={params[2]} svc={params[3]} "
+              f"a={params[5]} | Bimb={base.load_imbalance():.1f} | {row}",
+              flush=True)
+        results.append((sc, params))
+    results.sort()
+    print("\nBEST:")
+    for sc, p in results[:3]:
+        print(f"  score={sc:.3f} params={p}")
+
+
+if __name__ == "__main__":
+    main()

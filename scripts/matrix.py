@@ -1,0 +1,41 @@
+"""Run the full Figure 6/7/8 matrix: all designs x all workloads."""
+
+import time
+
+import repro
+from repro.analysis.stats import geomean
+
+
+def main():
+    t0 = time.time()
+    rows = {}
+    for name in repro.ALL_WORKLOADS:
+        wl = repro.make_workload(name)
+        res = repro.compare_designs(repro.ALL_DESIGNS, wl)
+        base = res["B"]
+        rows[name] = res
+        line = " ".join(
+            f"{d}:{r.speedup_over(base):.2f}" for d, r in res.items()
+        )
+        eline = " ".join(
+            f"{d}:{r.energy_ratio_over(base):.2f}" for d, r in res.items()
+        )
+        hline = " ".join(
+            f"{d}:{r.hops_ratio_over(base):.2f}" for d, r in res.items()
+        )
+        print(f"{name:7} spd  {line}", flush=True)
+        print(f"{name:7} eng  {eline}", flush=True)
+        print(f"{name:7} hops {hline}", flush=True)
+
+    print("\ngeomean speedups:")
+    for d in repro.ALL_DESIGNS:
+        if d == "B":
+            continue
+        g = geomean([rows[w][d].speedup_over(rows[w]["B"])
+                     for w in repro.ALL_WORKLOADS])
+        print(f"  {d}: {g:.3f}")
+    print(f"\ntotal {time.time()-t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Run results, statistics, and paper-style reporting."""
+
+from repro.analysis.metrics import RunResult
+from repro.analysis.stats import (
+    distribution_summary,
+    geomean,
+    imbalance_ratio,
+    quartiles,
+)
+from repro.analysis.reporting import (
+    format_comparison_table,
+    format_series,
+    normalize,
+)
+from repro.analysis.plotting import (
+    bar_chart,
+    box_plot,
+    grouped_bar_chart,
+    line_series,
+    sparkline,
+)
+from repro.analysis.export import to_csv, to_json, write_csv, write_json
+
+__all__ = [
+    "RunResult",
+    "geomean",
+    "imbalance_ratio",
+    "quartiles",
+    "distribution_summary",
+    "format_comparison_table",
+    "format_series",
+    "normalize",
+    "bar_chart",
+    "box_plot",
+    "grouped_bar_chart",
+    "line_series",
+    "sparkline",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,98 @@
+"""Exporting run results to CSV / JSON.
+
+Downstream users typically want the raw numbers out of the simulator
+for their own plotting pipelines; these helpers flatten
+:class:`~repro.analysis.metrics.RunResult` objects into rows with
+stable column names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Mapping
+
+from repro.analysis.metrics import RunResult
+
+#: flat columns exported for every run, in order.
+COLUMNS = (
+    "design",
+    "workload",
+    "makespan_cycles",
+    "tasks_executed",
+    "timestamps_executed",
+    "steals",
+    "instructions",
+    "inter_hops",
+    "intra_transfers",
+    "load_imbalance",
+    "busiest_core_cycles",
+    "mean_core_cycles",
+    "dram_reads",
+    "dram_writes",
+    "cache_fills",
+    "cache_hits",
+    "cache_misses",
+    "cache_hit_rate",
+    "energy_core_sram_pj",
+    "energy_dram_pj",
+    "energy_interconnect_pj",
+    "energy_static_pj",
+    "energy_total_pj",
+)
+
+
+def result_row(result: RunResult) -> Dict[str, object]:
+    """Flatten one run into a column -> value mapping."""
+    cycles = result.active_cycles_per_core
+    return {
+        "design": result.design,
+        "workload": result.workload,
+        "makespan_cycles": result.makespan_cycles,
+        "tasks_executed": result.tasks_executed,
+        "timestamps_executed": result.timestamps_executed,
+        "steals": result.steals,
+        "instructions": result.instructions,
+        "inter_hops": result.traffic.inter_hops,
+        "intra_transfers": result.traffic.intra_transfers,
+        "load_imbalance": result.load_imbalance(),
+        "busiest_core_cycles": result.busiest_core_cycles(),
+        "mean_core_cycles": float(cycles.mean()) if cycles.size else 0.0,
+        "dram_reads": result.dram.reads,
+        "dram_writes": result.dram.writes,
+        "cache_fills": result.dram.cache_fills,
+        "cache_hits": result.cache.hits,
+        "cache_misses": result.cache.misses,
+        "cache_hit_rate": result.cache.hit_rate,
+        "energy_core_sram_pj": result.energy.core_sram_pj,
+        "energy_dram_pj": result.energy.dram_pj,
+        "energy_interconnect_pj": result.energy.interconnect_pj,
+        "energy_static_pj": result.energy.static_pj,
+        "energy_total_pj": result.energy.total_pj,
+    }
+
+
+def to_csv(results: Iterable[RunResult]) -> str:
+    """Render runs as CSV text with a header row."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for result in results:
+        writer.writerow(result_row(result))
+    return buf.getvalue()
+
+
+def to_json(results: Iterable[RunResult], indent: int = 2) -> str:
+    """Render runs as a JSON array of flat records."""
+    return json.dumps([result_row(r) for r in results], indent=indent)
+
+
+def write_csv(path: str, results: Iterable[RunResult]) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_csv(results))
+
+
+def write_json(path: str, results: Iterable[RunResult]) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_json(results))

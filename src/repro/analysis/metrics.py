@@ -1,0 +1,96 @@
+"""The result record of one simulated run.
+
+A :class:`RunResult` bundles every quantity the paper's figures read:
+
+* performance  -- total makespan in cycles (Figures 2, 6, 10, 13, 17, 18)
+* remote access-- inter-stack mesh hops (Figures 2, 8, 11, 14, 15, 17)
+* load balance -- per-core active cycles (Figures 2, 9)
+* energy       -- the four-component breakdown (Figures 7, 10, 12, 13, 16)
+* cache/sched  -- hit rates, insertions, steals (design-choice studies)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dram import DramStats
+from repro.arch.energy import EnergyBreakdown
+from repro.arch.noc import TrafficMeter
+from repro.arch.sram import SramStats
+from repro.core.cache.traveller import CacheStatsTotal
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one (design, workload) simulation."""
+
+    design: str
+    workload: str
+    makespan_cycles: float
+    active_cycles_per_core: np.ndarray
+    traffic: TrafficMeter
+    dram: DramStats
+    sram: SramStats
+    cache: CacheStatsTotal
+    energy: EnergyBreakdown
+    tasks_executed: int = 0
+    timestamps_executed: int = 0
+    steals: int = 0
+    instructions: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def inter_hops(self) -> int:
+        """Figure 8's remote-access metric."""
+        return self.traffic.inter_hops
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Performance relative to another run (Figure 6)."""
+        if self.makespan_cycles <= 0:
+            return float("inf")
+        return baseline.makespan_cycles / self.makespan_cycles
+
+    def energy_ratio_over(self, baseline: "RunResult") -> float:
+        """Energy normalised to another run (Figure 7)."""
+        denom = baseline.total_energy_pj
+        return self.total_energy_pj / denom if denom else float("inf")
+
+    def hops_ratio_over(self, baseline: "RunResult") -> float:
+        """Inter-stack hops normalised to another run (Figure 8)."""
+        denom = baseline.inter_hops
+        if denom == 0:
+            return 0.0 if self.inter_hops == 0 else float("inf")
+        return self.inter_hops / denom
+
+    def sorted_active_cycles(self) -> np.ndarray:
+        """Per-core active cycles in ascending order (Figure 9 curves)."""
+        return np.sort(self.active_cycles_per_core)
+
+    def load_imbalance(self) -> float:
+        """max/mean of per-core active cycles (1.0 = perfectly flat)."""
+        from repro.analysis.stats import imbalance_ratio
+
+        return imbalance_ratio(self.active_cycles_per_core)
+
+    def busiest_core_cycles(self) -> float:
+        return float(self.active_cycles_per_core.max())
+
+    def summary(self) -> str:
+        return (
+            f"[{self.design}/{self.workload}] "
+            f"makespan={self.makespan_cycles:,.0f} cyc, "
+            f"hops={self.inter_hops:,}, "
+            f"imbalance={self.load_imbalance():.2f}, "
+            f"energy={self.energy.total_uj:,.1f} uJ, "
+            f"tasks={self.tasks_executed:,}"
+        )

@@ -1,0 +1,191 @@
+"""Terminal plotting: the figures, rendered as text.
+
+The benchmark harness prints every figure's numbers; these helpers
+additionally render them as ASCII charts so a terminal user can *see*
+the shapes the paper plots — grouped bar charts for the speedup/energy
+figures, line series for the sweeps, and box plots for the Figure 2/9
+load distributions.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A horizontal bar of ``value`` scaled so ``vmax`` fills ``width``."""
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    frac = int(round((cells - whole) * 8))
+    if frac == 8:
+        whole, frac = whole + 1, 0
+    return _FULL * whole + (_PART[frac] if frac else "")
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    baseline: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    With ``baseline`` set, a ``|`` gridline marks the baseline's value
+    so over/under-performance is visible at a glance.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title]
+    base_col = None
+    if baseline is not None and vmax > 0:
+        base_col = int(values[baseline] / vmax * width)
+    for name, v in values.items():
+        bar = _bar(v, vmax, width)
+        if base_col is not None and len(bar) < base_col:
+            bar = bar.ljust(base_col) + "|"
+        lines.append(f"  {name.ljust(label_w)} {fmt.format(v):>8} {bar}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    fmt: str = "{:.2f}",
+) -> str:
+    """One bar block per group (e.g. per workload), shared scale."""
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    vmax = max(
+        (v for series in groups.values() for v in series.values()),
+        default=0.0,
+    )
+    label_w = max(
+        len(k) for series in groups.values() for k in series
+    )
+    lines = [title]
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, v in series.items():
+            lines.append(
+                f"  {name.ljust(label_w)} {fmt.format(v):>8} "
+                f"{_bar(v, vmax, width)}"
+            )
+    return "\n".join(lines)
+
+
+def line_series(
+    title: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    height: int = 10,
+    width: Optional[int] = None,
+) -> str:
+    """Multi-series line plot on a character grid.
+
+    Each series gets a marker (its first letter, or a digit on
+    collision); points are scaled to the shared y-range.
+    """
+    if not series:
+        raise ValueError("line_series needs at least one series")
+    n = len(xs)
+    if any(len(v) != n for v in series.values()):
+        raise ValueError("every series must have one value per x")
+    width = width or max(24, 4 * n)
+    all_vals = np.array([v for vals in series.values() for v in vals],
+                        dtype=np.float64)
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    used = set()
+    for i, name in enumerate(series):
+        mark = name[0]
+        if mark in used:
+            mark = str(i)
+        used.add(mark)
+        markers[name] = mark
+
+    for name, vals in series.items():
+        for i, v in enumerate(vals):
+            col = int(i / max(1, n - 1) * (width - 1))
+            row = int((1.0 - (v - lo) / (hi - lo)) * (height - 1))
+            grid[row][col] = markers[name]
+
+    lines = [title]
+    lines.append(f"  {hi:10.3g} ┐")
+    for row in grid:
+        lines.append("             │" + "".join(row))
+    lines.append(f"  {lo:10.3g} ┘")
+    lines.append("             " + f" x: {xs[0]} .. {xs[-1]}")
+    legend = "  ".join(f"{m}={name}" for name, m in markers.items())
+    lines.append(f"             {legend}")
+    return "\n".join(lines)
+
+
+def box_plot(
+    title: str,
+    distributions: Mapping[str, Sequence[float]],
+    width: int = 50,
+) -> str:
+    """Figure 2/9-style box plots (min/quartiles/max) on one scale."""
+    if not distributions:
+        raise ValueError("box_plot needs at least one distribution")
+    from repro.analysis.stats import quartiles
+
+    stats = {}
+    for name, values in distributions.items():
+        if len(values) == 0:
+            raise ValueError(f"distribution {name!r} is empty")
+        q = quartiles(values)
+        stats[name] = (q["min"], q["q25"], q["median"], q["q75"], q["max"])
+    lo = min(s[0] for s in stats.values())
+    hi = max(s[4] for s in stats.values())
+    if hi == lo:
+        hi = lo + 1.0
+
+    def col(v: float) -> int:
+        return int((v - lo) / (hi - lo) * (width - 1))
+
+    label_w = max(len(k) for k in stats)
+    lines = [title, f"  scale: {lo:.3g} .. {hi:.3g}"]
+    for name, (mn, q1, med, q3, mx) in stats.items():
+        row = [" "] * width
+        for i in range(col(mn), col(mx) + 1):
+            row[i] = "-"
+        for i in range(col(q1), col(q3) + 1):
+            row[i] = "="
+        row[col(mn)] = "|"
+        row[col(mx)] = "|"
+        row[col(med)] = "#"
+        lines.append(f"  {name.ljust(label_w)} {''.join(row)}")
+    lines.append("  legend: |-min/max  =interquartile  #median")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend of values (eight-level blocks)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("sparkline needs values")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _PART[4] * len(arr)
+    blocks = " ▁▂▃▄▅▆▇█"
+    out = []
+    for v in arr:
+        idx = 1 + int((v - lo) / (hi - lo) * 7)
+        out.append(blocks[idx])
+    return "".join(out)

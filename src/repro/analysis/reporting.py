@@ -1,0 +1,80 @@
+"""Paper-style textual rendering of results.
+
+The benchmarks regenerate each figure as rows/series of numbers printed
+to stdout (absolute values and baseline-normalised ratios), matching
+the quantities on the paper's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the baseline entry's value."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+def format_comparison_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[float]],
+    fmt: str = "{:.3f}",
+    col_width: int = 9,
+) -> str:
+    """Render a labelled grid, e.g. designs x workloads (Figure 6)."""
+    lines = [title, "-" * max(len(title), 20)]
+    header = " " * 10 + "".join(c.rjust(col_width) for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, cells):
+        body = "".join(fmt.format(v).rjust(col_width) for v in row)
+        lines.append(label.ljust(10) + body)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    fmt: str = "{:.3f}",
+    col_width: int = 10,
+) -> str:
+    """Render sweep results: one row per x, one column per series."""
+    lines = [title, "-" * max(len(title), 20)]
+    header = x_label.ljust(12) + "".join(
+        name.rjust(col_width) for name in series
+    )
+    lines.append(header)
+    for i, x in enumerate(xs):
+        row = str(x).ljust(12) + "".join(
+            fmt.format(values[i]).rjust(col_width) for values in series.values()
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    title: str,
+    labels: Sequence[str],
+    components: Mapping[str, Sequence[float]],
+    fmt: str = "{:.3f}",
+    col_width: int = 13,
+) -> str:
+    """Render stacked-bar data (Figure 7): rows = designs, cols = parts."""
+    lines = [title, "-" * max(len(title), 20)]
+    header = " " * 10 + "".join(c.rjust(col_width) for c in components)
+    header += "total".rjust(col_width)
+    lines.append(header)
+    n = len(labels)
+    for i in range(n):
+        vals = [components[c][i] for c in components]
+        row = labels[i].ljust(10)
+        row += "".join(fmt.format(v).rjust(col_width) for v in vals)
+        row += fmt.format(sum(vals)).rjust(col_width)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Small statistics helpers used across benchmarks and reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-workload summary statistic)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def quartiles(values: Sequence[float]) -> Dict[str, float]:
+    """min / 25% / median / 75% / max — the Figure 2 box-plot stats."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("quartiles of an empty sequence")
+    return {
+        "min": float(arr.min()),
+        "q25": float(np.percentile(arr, 25)),
+        "median": float(np.percentile(arr, 50)),
+        "q75": float(np.percentile(arr, 75)),
+        "max": float(arr.max()),
+    }
+
+
+def imbalance_ratio(values: Sequence[float]) -> float:
+    """max/mean load ratio; 1.0 means perfectly balanced."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("imbalance of an empty sequence")
+    mean = arr.mean()
+    return float(arr.max() / mean) if mean > 0 else 1.0
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean; another scalar view of load spread."""
+    arr = np.asarray(values, dtype=np.float64)
+    mean = arr.mean()
+    return float(arr.std() / mean) if mean > 0 else 0.0
+
+
+def distribution_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Quartiles plus imbalance and CoV in one dict."""
+    out = quartiles(values)
+    out["imbalance"] = imbalance_ratio(values)
+    out["cov"] = coefficient_of_variation(values)
+    return out

@@ -1,0 +1,26 @@
+"""Hardware substrate: topology, interconnect, DRAM, SRAM, NDP units.
+
+These modules model the baseline NDP machine of Section 3.2 — the parts
+of the system that exist with or without the ABNDP optimizations.
+"""
+
+from repro.arch.topology import Topology
+from repro.arch.noc import Interconnect, AccessClass
+from repro.arch.dram import DramChannel
+from repro.arch.sram import SramModel, sram_area_mm2
+from repro.arch.memory_map import MemoryMap, Allocator, DataRegion
+from repro.arch.energy import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "Topology",
+    "Interconnect",
+    "AccessClass",
+    "DramChannel",
+    "SramModel",
+    "sram_area_mm2",
+    "MemoryMap",
+    "Allocator",
+    "DataRegion",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

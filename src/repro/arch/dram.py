@@ -1,0 +1,79 @@
+"""Per-unit DRAM channel model (HBM-like timing and energy, Table 1).
+
+Each NDP unit owns one independent DRAM channel.  The model is analytic:
+a random access costs ``tRCD + tCAS`` (row activation plus column
+access), and energy is charged per bit moved plus an ACT/PRE pair for
+the fraction of accesses that open a new row.  This is the same level of
+abstraction the paper consumes from its DRAM model — scalar per-event
+latencies and energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig
+
+
+@dataclass
+class DramStats:
+    """Access counters for one simulation run (per system, not per unit)."""
+
+    reads: int = 0
+    writes: int = 0
+    cache_fills: int = 0        # Traveller-cache insertions (extra writes)
+    cache_reads: int = 0        # hits served from a DRAM cache region
+    tag_accesses_in_dram: int = 0  # only for the DRAM-tag design (Fig 13)
+
+    @property
+    def total_accesses(self) -> int:
+        return (
+            self.reads + self.writes + self.cache_fills
+            + self.cache_reads + self.tag_accesses_in_dram
+        )
+
+    def merge(self, other: "DramStats") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.cache_fills += other.cache_fills
+        self.cache_reads += other.cache_reads
+        self.tag_accesses_in_dram += other.tag_accesses_in_dram
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.cache_fills = 0
+        self.cache_reads = 0
+        self.tag_accesses_in_dram = 0
+
+
+class DramChannel:
+    """Analytic timing/energy model shared by all units (stateless)."""
+
+    def __init__(self, config: MemoryConfig):
+        config.validate()
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    @property
+    def access_latency_ns(self) -> float:
+        """Latency of one random cacheline access."""
+        return self.config.access_latency_ns
+
+    @property
+    def row_hit_latency_ns(self) -> float:
+        """Latency when the row is already open (column access only)."""
+        return self.config.t_cas_ns
+
+    # ------------------------------------------------------------------
+    # energy
+    # ------------------------------------------------------------------
+    def access_energy_pj(self) -> float:
+        """Expected dynamic energy of one cacheline access."""
+        return self.config.access_energy_pj()
+
+    def energy_pj(self, stats: DramStats) -> float:
+        """Total DRAM dynamic energy for the accumulated counters."""
+        return stats.total_accesses * self.access_energy_pj()

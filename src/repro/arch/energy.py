@@ -1,0 +1,106 @@
+"""System energy accounting (Figure 7's four-component breakdown).
+
+Energy is integrated over event counters collected during a run:
+
+* ``core_sram``   -- core dynamic energy (pJ/instruction) plus L1 /
+                     prefetch-buffer / tag-array SRAM accesses;
+* ``dram``        -- memory *and* DRAM-cache accesses (Figure 7 groups
+                     them into one bar segment);
+* ``interconnect``-- intra-stack crossbar + inter-stack mesh bits moved;
+* ``static``      -- idle power of every core integrated over the
+                     makespan (all units stay powered until the last
+                     barrier of the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.dram import DramChannel, DramStats
+from repro.arch.noc import Interconnect, TrafficMeter
+from repro.arch.sram import SramModel, SramStats
+from repro.config import SystemConfig
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one run, in picojoules, split as in Figure 7."""
+
+    core_sram_pj: float = 0.0
+    dram_pj: float = 0.0
+    interconnect_pj: float = 0.0
+    static_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.core_sram_pj + self.dram_pj
+            + self.interconnect_pj + self.static_pj
+        )
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    def as_dict(self) -> dict:
+        return {
+            "core_sram_pj": self.core_sram_pj,
+            "dram_pj": self.dram_pj,
+            "interconnect_pj": self.interconnect_pj,
+            "static_pj": self.static_pj,
+            "total_pj": self.total_pj,
+        }
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict:
+        """Component shares relative to another run's total (Figure 7)."""
+        denom = baseline.total_pj or 1.0
+        return {
+            "core_sram": self.core_sram_pj / denom,
+            "dram": self.dram_pj / denom,
+            "interconnect": self.interconnect_pj / denom,
+            "static": self.static_pj / denom,
+            "total": self.total_pj / denom,
+        }
+
+
+class EnergyModel:
+    """Combines the per-component analytic models into one integrator."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        interconnect: Interconnect,
+        dram: DramChannel,
+        sram: SramModel,
+    ):
+        self.config = config
+        self.interconnect = interconnect
+        self.dram = dram
+        self.sram = sram
+
+    def integrate(
+        self,
+        instructions: float,
+        traffic: TrafficMeter,
+        dram_stats: DramStats,
+        sram_stats: SramStats,
+        makespan_cycles: float,
+    ) -> EnergyBreakdown:
+        """Produce the Figure 7 breakdown from a run's counters."""
+        core = self.config.core
+        core_dyn_pj = instructions * core.energy_per_instr_pj
+        sram_pj = self.sram.energy_pj(sram_stats)
+        dram_pj = self.dram.energy_pj(dram_stats)
+        noc_pj = self.interconnect.energy_pj(traffic)
+
+        makespan_ns = makespan_cycles * core.cycle_ns
+        total_cores = self.config.num_units * core.cores_per_unit
+        # idle power in uW = pJ/us = 1e-3 pJ/ns
+        static_pj = core.idle_power_uw * 1e-3 * makespan_ns * total_cores
+
+        return EnergyBreakdown(
+            core_sram_pj=core_dyn_pj + sram_pj,
+            dram_pj=dram_pj,
+            interconnect_pj=noc_pj,
+            static_pj=static_pj,
+        )

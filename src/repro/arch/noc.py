@@ -1,0 +1,171 @@
+"""Interconnect model: intra-stack crossbar + inter-stack 2D mesh.
+
+Provides the three-way access classification used everywhere in the
+paper (local / intra-stack / inter-stack, Equation 2), the latency and
+energy of moving a cacheline between two NDP units, and the precomputed
+(N, N) *distance-cost matrix* the schedulers score against.
+
+Hop accounting: Figure 8 reports remote accesses as the total number of
+inter-stack mesh hops.  :class:`TrafficMeter` counts the hops of every
+path segment a request/response travels so that benchmarks can report
+the same metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.topology import Topology
+from repro.config import MemoryConfig, NocConfig
+
+
+class AccessClass(enum.Enum):
+    """Where the target of an access lives relative to the requester."""
+
+    LOCAL = "local"
+    INTRA_STACK = "intra"
+    INTER_STACK = "inter"
+
+
+@dataclass
+class TrafficMeter:
+    """Accumulates interconnect traffic for one simulation run."""
+
+    inter_hops: int = 0
+    intra_transfers: int = 0
+    local_accesses: int = 0
+    inter_bits: int = 0
+    intra_bits: int = 0
+    messages: int = 0
+
+    def merge(self, other: "TrafficMeter") -> None:
+        self.inter_hops += other.inter_hops
+        self.intra_transfers += other.intra_transfers
+        self.local_accesses += other.local_accesses
+        self.inter_bits += other.inter_bits
+        self.intra_bits += other.intra_bits
+        self.messages += other.messages
+
+    def reset(self) -> None:
+        self.inter_hops = 0
+        self.intra_transfers = 0
+        self.local_accesses = 0
+        self.inter_bits = 0
+        self.intra_bits = 0
+        self.messages = 0
+
+
+class Interconnect:
+    """Latency/energy/cost model of the two-level memory network."""
+
+    def __init__(self, topology: Topology, noc: NocConfig, memory: MemoryConfig):
+        self.topology = topology
+        self.noc = noc
+        self.memory = memory
+        self._cost = self._build_cost_matrix()
+
+    def _build_cost_matrix(self) -> np.ndarray:
+        """(N, N) scheduling distance costs (Equation 2 terms)."""
+        hops = self.topology.inter_hops.astype(np.float64)
+        cost = hops * self.noc.d_inter
+        same_stack = self.topology.same_stack
+        n = self.topology.num_units
+        eye = np.eye(n, dtype=bool)
+        cost[same_stack & ~eye] = self.noc.d_intra
+        cost[eye] = self.noc.d_local
+        return cost
+
+    @property
+    def cost_matrix(self) -> np.ndarray:
+        """Read-only (N, N) distance-cost matrix."""
+        v = self._cost.view()
+        v.flags.writeable = False
+        return v
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def classify(self, src: int, dst: int) -> AccessClass:
+        if src == dst:
+            return AccessClass.LOCAL
+        if self.topology.is_intra_stack(src, dst):
+            return AccessClass.INTRA_STACK
+        return AccessClass.INTER_STACK
+
+    def distance_cost(self, src: int, dst: int) -> float:
+        """Scheduling cost of the (src, dst) pair (Equation 2)."""
+        return float(self._cost[src, dst])
+
+    # ------------------------------------------------------------------
+    # latency
+    # ------------------------------------------------------------------
+    def one_way_latency_ns(self, src: int, dst: int) -> float:
+        """Time for one message to travel from ``src`` to ``dst``.
+
+        An inter-stack message first crosses the source crossbar to the
+        stack router, rides the mesh, then crosses the destination
+        crossbar; an intra-stack message pays a single crossbar hop.
+        """
+        if src == dst:
+            return 0.0
+        if self.topology.is_intra_stack(src, dst):
+            return self.noc.intra_hop_ns
+        hops = self.topology.hops_between(src, dst)
+        return 2 * self.noc.intra_hop_ns + hops * self.noc.inter_hop_ns
+
+    def round_trip_latency_ns(self, src: int, dst: int) -> float:
+        """Request + response latency between two units."""
+        return 2.0 * self.one_way_latency_ns(src, dst)
+
+    # ------------------------------------------------------------------
+    # traffic accounting
+    # ------------------------------------------------------------------
+    def record_transfer(
+        self, meter: TrafficMeter, src: int, dst: int, bits: int | None = None
+    ) -> None:
+        """Account one message of ``bits`` payload travelling src -> dst.
+
+        ``bits`` defaults to one cacheline.  Local "transfers" are counted
+        but move no interconnect bits.
+        """
+        if bits is None:
+            bits = self.memory.line_bits
+        meter.messages += 1
+        if src == dst:
+            meter.local_accesses += 1
+            return
+        if self.topology.is_intra_stack(src, dst):
+            meter.intra_transfers += 1
+            meter.intra_bits += bits
+            return
+        hops = self.topology.hops_between(src, dst)
+        meter.inter_hops += hops
+        meter.inter_bits += bits * hops
+        # Mesh endpoints also cross the two stack crossbars.
+        meter.intra_transfers += 2
+        meter.intra_bits += 2 * bits
+
+    def record_round_trip(
+        self,
+        meter: TrafficMeter,
+        src: int,
+        dst: int,
+        request_bits: int = 128,
+        response_bits: int | None = None,
+    ) -> None:
+        """Account a request message plus a cacheline-sized response."""
+        self.record_transfer(meter, src, dst, request_bits)
+        self.record_transfer(meter, dst, src, response_bits)
+
+    # ------------------------------------------------------------------
+    # energy
+    # ------------------------------------------------------------------
+    def energy_pj(self, meter: TrafficMeter) -> float:
+        """Dynamic interconnect energy for the accumulated traffic."""
+        return (
+            meter.inter_bits * self.noc.inter_pj_per_bit
+            + meter.intra_bits * self.noc.intra_pj_per_bit
+        )

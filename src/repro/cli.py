@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+    python -m repro describe                 # print the Table 1 machine
+    python -m repro designs                  # print the Table 2 matrix
+    python -m repro run -d O -w pr           # one simulation
+    python -m repro compare -w knn           # all designs on one workload
+    python -m repro matrix                   # the full Figure 6/7/8 matrix
+    python -m repro sweep alpha -w pr        # a Section 7.2 sweep
+
+Results can be exported with ``--csv out.csv`` / ``--json out.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Dict, List, Optional
+
+import repro
+from repro.analysis import export
+from repro.analysis.metrics import RunResult
+from repro.analysis.plotting import bar_chart
+from repro.analysis.stats import geomean
+from repro.config import SystemConfig, describe_config, experiment_config
+
+
+def _config_from_args(args) -> SystemConfig:
+    cfg = experiment_config()
+    if args.mesh:
+        rows, cols = (int(v) for v in args.mesh.lower().split("x"))
+        cfg = cfg.scaled(rows, cols)
+    overrides = {}
+    if args.alpha is not None:
+        overrides["hybrid_alpha"] = args.alpha
+    if args.interval is not None:
+        overrides["exchange_interval_cycles"] = args.interval
+    if overrides:
+        cfg = cfg.with_(
+            scheduler=dataclasses.replace(cfg.scheduler, **overrides)
+        )
+    if args.camps is not None or args.bypass is not None:
+        cache_over = {}
+        if args.camps is not None:
+            cache_over["num_camps"] = args.camps
+        if args.bypass is not None:
+            cache_over["bypass_probability"] = args.bypass
+        cfg = cfg.with_(cache=dataclasses.replace(cfg.cache, **cache_over))
+    return cfg.validate()
+
+
+def _export(args, results: List[RunResult]) -> None:
+    if getattr(args, "csv", None):
+        export.write_csv(args.csv, results)
+        print(f"wrote {args.csv}")
+    if getattr(args, "json", None):
+        export.write_json(args.json, results)
+        print(f"wrote {args.json}")
+
+
+def _print_comparison(results: Dict[str, RunResult]) -> None:
+    base = results.get("B") or next(iter(results.values()))
+    header = (f"{'design':7} {'speedup':>8} {'hops/B':>8} {'imbal':>7} "
+              f"{'energy/B':>9} {'hit':>5}")
+    print(header)
+    print("-" * len(header))
+    for design, r in results.items():
+        hops = r.hops_ratio_over(base) if base.inter_hops else 0.0
+        print(f"{design:7} {r.speedup_over(base):8.2f} {hops:8.2f} "
+              f"{r.load_imbalance():7.2f} "
+              f"{r.energy_ratio_over(base):9.2f} {r.cache.hit_rate:5.0%}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_describe(args) -> int:
+    print(describe_config(_config_from_args(args)))
+    return 0
+
+
+def cmd_designs(args) -> int:
+    for name, point in repro.DESIGN_POINTS.items():
+        print(f"{name:3} policy={point.policy.value:16} "
+              f"cache={point.cache.value:10} {point.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    cfg = _config_from_args(args)
+    result = repro.simulate(args.design, args.workload, cfg,
+                            verify=args.verify)
+    print(result.summary())
+    if args.verify:
+        print("answer verified against the reference implementation")
+    _export(args, [result])
+    return 0
+
+
+def cmd_compare(args) -> int:
+    cfg = _config_from_args(args)
+    workload = repro.make_workload(args.workload)
+    results = {
+        d: repro.simulate(d, workload, cfg) for d in repro.ALL_DESIGNS
+    }
+    _print_comparison(results)
+    base = results["B"]
+    print()
+    print(bar_chart(
+        f"speedup over B ({args.workload})",
+        {d: r.speedup_over(base) for d, r in results.items()},
+        baseline="B",
+    ))
+    _export(args, list(results.values()))
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    cfg = _config_from_args(args)
+    all_results: List[RunResult] = []
+    speedups: Dict[str, List[float]] = {d: [] for d in repro.ALL_DESIGNS}
+    for name in repro.ALL_WORKLOADS:
+        workload = repro.make_workload(name)
+        row = {d: repro.simulate(d, workload, cfg)
+               for d in repro.ALL_DESIGNS}
+        base = row["B"]
+        line = f"{name:8}"
+        for d in repro.ALL_DESIGNS:
+            s = row[d].speedup_over(base)
+            speedups[d].append(s)
+            line += f" {d}:{s:5.2f}"
+        print(line, flush=True)
+        all_results.extend(row.values())
+    print("geomean " + " ".join(
+        f"{d}:{geomean(speedups[d]):5.2f}" for d in repro.ALL_DESIGNS
+    ))
+    _export(args, all_results)
+    return 0
+
+
+_SWEEPS = {
+    "alpha": ("hybrid_alpha", [0.0, 1.0, 2.0, 3.0, 4.0, 6.0]),
+    "interval": ("exchange_interval_cycles", [62, 125, 250, 500, 1000, 2000]),
+    "camps": ("num_camps", [1, 3, 7, 15]),
+    "bypass": ("bypass_probability", [0.0, 0.2, 0.4, 0.6, 0.8]),
+}
+
+
+def cmd_sweep(args) -> int:
+    field, values = _SWEEPS[args.parameter]
+    workload = repro.make_workload(args.workload)
+    results = []
+    for v in values:
+        cfg = experiment_config()
+        if args.parameter in ("alpha", "interval"):
+            cfg = cfg.with_(scheduler=dataclasses.replace(
+                cfg.scheduler, **{field: v}))
+        else:
+            cfg = cfg.with_(cache=dataclasses.replace(
+                cfg.cache, **{field: v}))
+        r = repro.simulate(args.design, workload, cfg.validate())
+        results.append(r)
+        print(f"{args.parameter}={v:<8} makespan={r.makespan_cycles:12,.0f} "
+              f"hops={r.inter_hops:10,} hit={r.cache.hit_rate:.0%}",
+              flush=True)
+    _export(args, results)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ABNDP (ASPLOS'23) reproduction - NDP simulator CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, workload=True, design=False):
+        p.add_argument("--mesh", help="stack mesh, e.g. 2x2 / 4x4 / 8x8")
+        p.add_argument("--alpha", type=float, help="hybrid weight alpha")
+        p.add_argument("--interval", type=int,
+                       help="workload exchange interval (cycles)")
+        p.add_argument("--camps", type=int, help="camp locations C")
+        p.add_argument("--bypass", type=float, help="bypass probability")
+        p.add_argument("--csv", help="export results to a CSV file")
+        p.add_argument("--json", help="export results to a JSON file")
+        if workload:
+            p.add_argument("-w", "--workload", default="pr",
+                           choices=sorted(repro.WORKLOAD_FACTORIES))
+        if design:
+            p.add_argument("-d", "--design", default="O",
+                           choices=list(repro.ALL_DESIGNS))
+
+    add_common(sub.add_parser("describe", help="print the configuration"),
+               workload=False)
+    sub.add_parser("designs", help="print the Table 2 design matrix")
+
+    p_run = sub.add_parser("run", help="simulate one design/workload")
+    add_common(p_run, design=True)
+    p_run.add_argument("--verify", action="store_true",
+                       help="check the computed answer")
+
+    add_common(sub.add_parser("compare",
+                              help="all designs on one workload"))
+    add_common(sub.add_parser("matrix",
+                              help="all designs x all workloads"),
+               workload=False)
+
+    p_sweep = sub.add_parser("sweep", help="a Section 7.2 parameter sweep")
+    p_sweep.add_argument("parameter", choices=sorted(_SWEEPS))
+    add_common(p_sweep, design=True)
+
+    return parser
+
+
+_COMMANDS = {
+    "describe": cmd_describe,
+    "designs": cmd_designs,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "matrix": cmd_matrix,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, MemoryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

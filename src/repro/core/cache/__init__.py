@@ -1,0 +1,24 @@
+"""Traveller Cache: camp locations, cache arrays, and foil designs."""
+
+from repro.core.cache.camp import CampMapper
+from repro.core.cache.policies import (
+    LruReplacement,
+    ProbabilisticInsertion,
+    RandomReplacement,
+    make_replacement_policy,
+)
+from repro.core.cache.traveller import CacheStatsTotal, TravellerCache
+from repro.core.cache.sram_cache import SramDataCache
+from repro.core.cache.dram_tag_cache import DramTagCache
+
+__all__ = [
+    "CampMapper",
+    "TravellerCache",
+    "SramDataCache",
+    "DramTagCache",
+    "CacheStatsTotal",
+    "ProbabilisticInsertion",
+    "RandomReplacement",
+    "LruReplacement",
+    "make_replacement_policy",
+]

@@ -1,0 +1,29 @@
+"""DRAM cache with in-DRAM tags — the second foil of Figure 13.
+
+Same data placement as the Traveller Cache (data in the reserved DRAM
+region), but the tags are stored alongside the data in DRAM, in the
+same row (Unison/Footprint style — [47, 48] in the paper).  A probe
+reads the tag+data row: on a hit the data came along for free, but the
+hit/miss outcome is only known after a full DRAM access, and a miss
+has burned that access for nothing — the paper measures a 21% slowdown
+and 54% more DRAM energy than Traveller on average.
+
+Die area is negligible (no SRAM tag array at all), which is the one
+axis where this design beats Traveller.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache.traveller import TravellerCache
+
+
+class DramTagCache(TravellerCache):
+    """Traveller-organised cache whose tags live in DRAM."""
+
+    def tag_probe_dram_accesses(self) -> int:
+        """DRAM accesses needed to resolve one probe's tags."""
+        return self.config.dram_tag_penalty_accesses
+
+    def tag_area_mm2(self) -> float:
+        """No on-die tag SRAM."""
+        return 0.0

@@ -1,0 +1,26 @@
+"""Pure on-die SRAM data cache — the first foil of Figure 13.
+
+Same camp-location organisation and capacity as the Traveller Cache,
+but both data *and* tags live in logic-die SRAM.  Hits avoid the DRAM
+access entirely (faster, less dynamic energy), at the cost of an
+unrealistic die area: the paper quotes ~16.12 mm^2 per unit for the
+8 MB array, versus 0.32 mm^2 for Traveller's tag-only SRAM.
+
+Behaviourally (hit/miss/insertion decisions) it is identical to
+:class:`~repro.core.cache.traveller.TravellerCache`; the memory system
+charges different latency/energy events per style, and the area model
+in :mod:`repro.arch.sram` exposes the die-area difference.
+"""
+
+from __future__ import annotations
+
+from repro.arch.sram import sram_area_mm2
+from repro.core.cache.traveller import TravellerCache
+
+
+class SramDataCache(TravellerCache):
+    """Traveller-organised cache whose data array is SRAM."""
+
+    def data_area_mm2(self, line_bytes: int = 64) -> float:
+        """Logic-die area of the SRAM data array (the 16.12 mm^2 story)."""
+        return sram_area_mm2(self.capacity_lines * line_bytes)

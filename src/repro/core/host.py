@@ -1,0 +1,88 @@
+"""Analytic host-CPU model — design **H** of Table 2.
+
+The paper compares its NDP designs against a conventional server: 16
+out-of-order cores at 2.6 GHz, a 20 MB LLC, and 4 channels of
+DDR4-2400.  H appears only as a reference point (the text reports B as
+3.70x faster than H and ABNDP as 6.29x), so a roofline-style analytic
+model is sufficient: the host's runtime is the larger of its compute
+time and its memory time for the same task graph, derated by a
+parallel-efficiency factor for the irregular workloads.
+
+The model consumes the instruction and access counts measured by a
+baseline NDP run, so a single simulation yields both numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Server-class host parameters (Section 6)."""
+
+    cores: int = 16
+    frequency_ghz: float = 2.6
+    ipc: float = 2.0
+    llc_bytes: int = 20 * 1024 * 1024
+    ddr_channels: int = 4
+    ddr_gbps_per_channel: float = 19.2  # DDR4-2400
+    # Fraction of primary-data line accesses that miss the LLC for the
+    # irregular, low-locality NDP workloads.
+    llc_miss_rate: float = 0.55
+    # Derating for synchronisation/imbalance of the irregular
+    # task-model workloads on 16 cores.
+    parallel_efficiency: float = 0.40
+    line_bytes: int = 64
+    # The host runs the task runtime in software: queue management,
+    # scheduling and dispatch cost instructions per task that the NDP
+    # units implement in hardware.
+    task_overhead_instructions: float = 300.0
+    # Auxiliary traffic (runtime structures, stacks, double buffers)
+    # on top of the primary-data lines the hints enumerate.
+    access_amplification: float = 2.0
+
+    @property
+    def memory_bw_gbps(self) -> float:
+        return self.ddr_channels * self.ddr_gbps_per_channel
+
+
+class HostModel:
+    """Roofline estimate of the host's makespan for a measured run."""
+
+    def __init__(self, config: HostConfig | None = None):
+        self.config = config or HostConfig()
+
+    def makespan_ns(self, instructions: float, line_accesses: float,
+                    tasks: float = 0.0) -> float:
+        """Host runtime for a task graph of the given size."""
+        cfg = self.config
+        instr = instructions + tasks * cfg.task_overhead_instructions
+        compute_ns = instr / (cfg.cores * cfg.frequency_ghz * cfg.ipc)
+        dram_bytes = (line_accesses * cfg.access_amplification
+                      * cfg.llc_miss_rate * cfg.line_bytes)
+        memory_ns = dram_bytes / cfg.memory_bw_gbps
+        return max(compute_ns, memory_ns) / cfg.parallel_efficiency
+
+    def makespan_cycles(self, result: RunResult,
+                        ndp_frequency_ghz: float = 2.0) -> float:
+        """Host makespan expressed in NDP-core cycles (for Figure 6).
+
+        ``result`` should be the baseline **B** run: it carries the
+        workload's instruction count and the number of primary-data
+        line accesses (every L1 probe corresponds to one line touch).
+        """
+        ns = self.makespan_ns(
+            instructions=result.instructions,
+            line_accesses=float(result.sram.l1_accesses),
+            tasks=float(result.tasks_executed),
+        )
+        return ns * ndp_frequency_ghz
+
+    def speedup_of(self, result: RunResult,
+                   ndp_frequency_ghz: float = 2.0) -> float:
+        """How much faster ``result``'s NDP run is than the host."""
+        host_cycles = self.makespan_cycles(result, ndp_frequency_ghz)
+        return host_cycles / result.makespan_cycles

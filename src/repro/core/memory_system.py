@@ -1,0 +1,280 @@
+"""End-to-end memory access flow (Section 4.4, "Overall access flow").
+
+For every data access the simulator resolves:
+
+1. the requester's L1 (hit -> done);
+2. the requester's prefetch buffer (hit -> done, bypassing L1);
+3. with a remote-data cache configured: the *nearest camp location* of
+   the line — a tag probe there, then either a cache hit (data returned
+   from the camp's cache region) or a continuation to the home memory,
+   with a probabilistic insertion back into the probed camp;
+4. without a cache: a direct round trip to the home memory.
+
+The function returns the access latency in nanoseconds and books every
+hop, DRAM event, and SRAM event into the run's counters — those
+counters are precisely the quantities behind Figures 7 and 8.
+
+DRAM service contention
+-----------------------
+Each unit's DRAM channel has a finite random-access service rate
+(``MemoryConfig.service_ns`` per cacheline).  Every DRAM event at a unit
+advances that unit's service clock; accesses arriving while the channel
+is busy queue behind it.  This is the first-order effect that makes hot
+*data* a hot *spot*: the home of a power-law hub serves reads from the
+whole machine and saturates, while Traveller camps split the same
+traffic across ``C + 1`` channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.dram import DramChannel, DramStats
+from repro.arch.memory_map import MemoryMap
+from repro.arch.ndp_unit import NdpUnit
+from repro.arch.noc import Interconnect, TrafficMeter
+from repro.arch.sram import SramModel, SramStats
+from repro.config import CacheStyle, SystemConfig
+from repro.core.cache.camp import CampMapper
+from repro.core.cache.dram_tag_cache import DramTagCache
+from repro.core.cache.sram_cache import SramDataCache
+from repro.core.cache.traveller import CacheStatsTotal, TravellerCache
+
+#: control-message payload (an address + command), in bits.
+_REQUEST_BITS = 128
+
+
+class MemorySystem:
+    """Resolves accesses against L1s, prefetch buffers, caches, and DRAM."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        interconnect: Interconnect,
+        dram: DramChannel,
+        sram: SramModel,
+        memory_map: MemoryMap,
+        units: Sequence[NdpUnit],
+        camp_mapper: Optional[CampMapper],
+        rng: np.random.Generator,
+    ):
+        self.config = config
+        self.interconnect = interconnect
+        self.dram = dram
+        self.sram = sram
+        self.memory_map = memory_map
+        self.units = units
+        self.camp_mapper = camp_mapper
+        self.style = config.cache.style
+        self._cost = interconnect.cost_matrix
+        self._service_ns = config.memory.service_ns
+
+        self.traffic = TrafficMeter()
+        self.dram_stats = DramStats()
+        self.sram_stats = SramStats()
+        # Per-unit DRAM channel service clock (absolute ns).
+        self._dram_free_ns = np.zeros(config.num_units, dtype=np.float64)
+        # Total queuing delay observed (diagnostics / tests).
+        self.total_queue_delay_ns = 0.0
+
+        self.caches: List[Optional[TravellerCache]] = []
+        if self.style is CacheStyle.NONE:
+            self.caches = [None] * config.num_units
+        else:
+            cls = {
+                CacheStyle.TRAVELLER: TravellerCache,
+                CacheStyle.SRAM: SramDataCache,
+                CacheStyle.DRAM_TAG: DramTagCache,
+            }[self.style]
+            self.caches = [
+                cls(config.cache, config.memory, rng)
+                for _ in range(config.num_units)
+            ]
+        if self.style is not CacheStyle.NONE and camp_mapper is None:
+            raise ValueError("a camp mapper is required when caching is on")
+
+    # ------------------------------------------------------------------
+    # DRAM channel service model
+    # ------------------------------------------------------------------
+    def _dram_service(self, unit: int, now_ns: float,
+                      critical: bool = True) -> float:
+        """Occupy ``unit``'s DRAM channel for one cacheline access.
+
+        Returns the queuing delay experienced (0 when the channel is
+        idle).  ``critical=False`` marks write-buffered events (cache
+        fills, output writes): the controller schedules them into idle
+        slots, so they neither wait nor delay demand reads — their
+        energy is still charged by the caller.
+        """
+        if not critical:
+            return 0.0
+        free_at = self._dram_free_ns[unit]
+        delay = max(0.0, free_at - now_ns)
+        self._dram_free_ns[unit] = max(free_at, now_ns) + self._service_ns
+        self.total_queue_delay_ns += delay
+        return delay
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def access(self, requester: int, line: int, now_ns: float = 0.0) -> float:
+        """Resolve one cacheline read at time ``now_ns``.
+
+        Returns its latency in ns, including any queuing delay at the
+        serving unit's DRAM channel.
+        """
+        unit = self.units[requester]
+
+        self.sram_stats.l1_accesses += 1
+        if unit.l1.lookup(line):
+            return self.sram.l1_hit_ns
+
+        self.sram_stats.prefetch_accesses += 1
+        if unit.prefetch.lookup(line):
+            # Prefetch-buffer hits bypass the L1 (Section 3.2).
+            return self.sram.l1_hit_ns
+
+        if self.style is CacheStyle.NONE:
+            latency = self._direct_home_access(requester, line, now_ns)
+        else:
+            latency = self._cached_access(requester, line, now_ns)
+
+        unit.prefetch.insert(line)
+        unit.l1.insert(line)
+        return latency
+
+    def _direct_home_access(self, requester: int, line: int,
+                            now_ns: float) -> float:
+        home = self.memory_map.home_of_line(line)
+        noc = self.interconnect
+        noc.record_round_trip(self.traffic, requester, home, _REQUEST_BITS)
+        self.dram_stats.reads += 1
+        arrival = now_ns + noc.one_way_latency_ns(requester, home)
+        queue = self._dram_service(home, arrival)
+        return (
+            noc.round_trip_latency_ns(requester, home)
+            + queue + self.dram.access_latency_ns
+        )
+
+    def _cached_access(self, requester: int, line: int,
+                       now_ns: float) -> float:
+        """The Traveller access flow: probe nearest camp, fall to home."""
+        assert self.camp_mapper is not None
+        noc = self.interconnect
+        nearest, is_home = self.camp_mapper.nearest_location(
+            line, requester, self._cost
+        )
+        home = self.memory_map.home_of_line(line)
+        cache = self.caches[nearest]
+
+        if is_home:
+            # The nearest allowed location is the memory itself: no
+            # detour, no probe — exactly the baseline access.
+            if cache is not None:
+                cache.stats.home_direct += 1
+            return self._direct_home_access(requester, line, now_ns)
+
+        assert cache is not None
+        # Request travels to the camp and checks the tags there.
+        noc.record_transfer(self.traffic, requester, nearest, _REQUEST_BITS)
+        latency = noc.one_way_latency_ns(requester, nearest)
+        latency += self._tag_probe_latency(nearest, now_ns + latency)
+
+        if cache.lookup(line):
+            # Served from the camp's cache region.
+            latency += self._cache_read_latency(nearest, now_ns + latency)
+            noc.record_transfer(self.traffic, nearest, requester)
+            latency += noc.one_way_latency_ns(nearest, requester)
+            return latency
+
+        # Miss: continue to the home, read, return directly to requester.
+        noc.record_transfer(self.traffic, nearest, home, _REQUEST_BITS)
+        latency += noc.one_way_latency_ns(nearest, home)
+        self.dram_stats.reads += 1
+        latency += self._dram_service(home, now_ns + latency)
+        latency += self.dram.access_latency_ns
+        noc.record_transfer(self.traffic, home, requester)
+        latency += noc.one_way_latency_ns(home, requester)
+
+        # Try to install at the probed camp.  The fill write is
+        # buffered and scheduled into idle channel slots, so it costs
+        # energy and traffic but neither waits nor delays demand reads.
+        if cache.insert(line):
+            noc.record_transfer(self.traffic, home, nearest)
+            self._charge_cache_fill(nearest, now_ns + latency)
+        return latency
+
+    # ------------------------------------------------------------------
+    # per-style cost hooks
+    # ------------------------------------------------------------------
+    def _tag_probe_latency(self, camp_unit: int, now_ns: float) -> float:
+        if self.style is CacheStyle.DRAM_TAG:
+            # Tags live in DRAM alongside the data (Unison/Footprint
+            # style): the probe reads the whole tag+data row, so a hit
+            # needs no further data access, while a miss has burned a
+            # full DRAM access for nothing.
+            cache = self.caches[camp_unit]
+            assert isinstance(cache, DramTagCache)
+            n = cache.tag_probe_dram_accesses()
+            self.dram_stats.tag_accesses_in_dram += n
+            latency = 0.0
+            for _ in range(n):
+                latency += self._dram_service(camp_unit, now_ns + latency)
+                latency += self.dram.access_latency_ns
+            return latency
+        self.sram_stats.tag_accesses += 1
+        return self.sram.tag_lookup_ns
+
+    def _cache_read_latency(self, camp_unit: int, now_ns: float) -> float:
+        if self.style is CacheStyle.SRAM:
+            self.sram_stats.data_cache_accesses += 1
+            return self.sram.l1_hit_ns
+        if self.style is CacheStyle.DRAM_TAG:
+            # The data arrived with the tag probe's row access.
+            return 0.0
+        self.dram_stats.cache_reads += 1
+        queue = self._dram_service(camp_unit, now_ns)
+        return queue + self.dram.access_latency_ns
+
+    def _charge_cache_fill(self, camp_unit: int, now_ns: float) -> None:
+        if self.style is CacheStyle.SRAM:
+            self.sram_stats.data_cache_accesses += 1
+        else:
+            self.dram_stats.cache_fills += 1
+            self._dram_service(camp_unit, now_ns, critical=False)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write(self, requester: int, line: int, now_ns: float = 0.0) -> float:
+        """Write one line to its home (writes bypass the caches).
+
+        Returns 0: stores retire through a write buffer into idle
+        channel slots, so they neither stall the task nor delay demand
+        reads; their traffic and DRAM energy are still charged.
+        """
+        home = self.memory_map.home_of_line(line)
+        self.interconnect.record_transfer(self.traffic, requester, home)
+        self.dram_stats.writes += 1
+        self._dram_service(home, now_ns, critical=False)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def end_timestamp(self) -> None:
+        """Barrier: bulk-invalidate every cache (Section 4.4)."""
+        for cache in self.caches:
+            if cache is not None:
+                cache.bulk_invalidate()
+        for unit in self.units:
+            unit.end_timestamp()
+
+    def cache_stats(self) -> CacheStatsTotal:
+        total = CacheStatsTotal()
+        for cache in self.caches:
+            if cache is not None:
+                total.merge(cache.stats)
+        return total

@@ -1,0 +1,17 @@
+"""Task scheduling policies (Table 2 / Section 5)."""
+
+from repro.core.scheduler.base import Scheduler, SchedulerContext
+from repro.core.scheduler.colocate import ColocateScheduler
+from repro.core.scheduler.lowest_distance import LowestDistanceScheduler
+from repro.core.scheduler.work_stealing import WorkStealingScheduler, rebalance_by_stealing
+from repro.core.scheduler.hybrid import HybridScheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulerContext",
+    "ColocateScheduler",
+    "LowestDistanceScheduler",
+    "WorkStealingScheduler",
+    "HybridScheduler",
+    "rebalance_by_stealing",
+]

@@ -1,0 +1,140 @@
+"""Scheduler interface and the shared scoring context.
+
+Every policy answers one question: *on which NDP unit should this task
+execute?*  Policies receive a :class:`SchedulerContext` bundling the
+system-level information the paper's hardware scheduler has access to:
+the distance-cost matrix, the address->home mapping, the camp mapper
+(when a Traveller Cache is configured), and the stale workload snapshot
+from the periodic exchange.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.memory_map import MemoryMap
+from repro.core.cache.camp import CampMapper
+from repro.runtime.task import Task
+from repro.runtime.workload_exchange import WorkloadExchange
+
+
+@dataclass
+class SchedulerContext:
+    """Everything a scheduling policy may look at."""
+
+    memory_map: MemoryMap
+    cost_matrix: np.ndarray              # (N, N) distance costs
+    exchange: WorkloadExchange
+    camp_mapper: Optional[CampMapper] = None
+    # Weight B of Equation 1; only the hybrid policy reads it.
+    hybrid_weight: float = 0.0
+    # Conversion constants for the access-cost workload estimate.
+    frequency_ghz: float = 2.0
+    dram_latency_ns: float = 34.0
+    # Fraction of access latency hidden by prefetching; the workload
+    # estimate discounts it so W tracks *core-visible* cycles.
+    prefetch_hide_fraction: float = 0.6
+    # Hybrid-policy stability knobs, mirrored from SchedulerConfig.
+    tie_tolerance_ns: float = 5.0
+    load_deadband: float = 0.25
+    load_floor_cycles: float = 1000.0
+
+    @property
+    def num_units(self) -> int:
+        return self.cost_matrix.shape[0]
+
+    def task_workload(self, task: Task, unit: int) -> float:
+        """The load value booked into W_u when ``task`` enqueues at
+        ``unit`` (Section 3.1).
+
+        Uses the programmer-provided ``hint.workload`` when present;
+        otherwise falls back to the paper's estimate — the *total
+        memory access cost* of the hint addresses, which is naturally
+        distance-dependent at the executing unit — plus the compute
+        estimate.  Booking distance-aware costs is what lets the
+        load-balance term equalise real execution cycles rather than
+        task counts.
+        """
+        if task.hint.workload is not None:
+            return float(task.hint.workload)
+        lines = self.hint_lines(task)
+        if lines.size == 0:
+            return float(task.compute_cycles)
+        if self.camp_mapper is not None:
+            access_ns = sum(
+                float(self.camp_mapper.nearest_cost_vector(
+                    int(line), self.cost_matrix)[unit])
+                for line in lines
+            )
+        else:
+            homes = self.memory_map.homes_of_lines(lines)
+            access_ns = float(self.cost_matrix[unit, homes].sum())
+        access_ns += self.dram_latency_ns * len(lines)
+        stall_cycles = (
+            access_ns * self.frequency_ghz
+            * (1.0 - self.prefetch_hide_fraction)
+        )
+        return float(task.compute_cycles) + stall_cycles
+
+    def hint_lines(self, task: Task) -> np.ndarray:
+        """Distinct cachelines named by the task's hint (memoized on
+        the hint — the scheduler, rebalancer and executor all need it).
+        """
+        cached = getattr(task.hint, "_lines", None)
+        if cached is not None:
+            return cached
+        if task.hint.num_addresses == 0:
+            lines = np.empty(0, dtype=np.int64)
+        else:
+            lines = self.memory_map.unique_lines(task.hint.addresses)
+        task.hint._lines = lines
+        return lines
+
+    def mem_cost_vector(self, task: Task, use_camps: bool) -> np.ndarray:
+        """cost_mem(t, u) for every unit u (Equation 2).
+
+        For each hint line the distance is taken to the line's *nearest
+        allowed location* from the candidate unit — the home only, or
+        the home plus its camp locations when ``use_camps`` — then
+        averaged over the lines.
+        """
+        lines = self.hint_lines(task)
+        if lines.size == 0:
+            return np.zeros(self.num_units, dtype=np.float64)
+        if use_camps and self.camp_mapper is not None:
+            # Mean of the memoized per-line nearest-distance columns.
+            acc = np.zeros(self.num_units, dtype=np.float64)
+            for line in lines:
+                acc += self.camp_mapper.nearest_cost_vector(
+                    int(line), self.cost_matrix
+                )
+            return acc / len(lines)
+        homes = self.memory_map.homes_of_lines(lines)
+        return self.cost_matrix[:, homes].mean(axis=1)
+
+
+class Scheduler(abc.ABC):
+    """A task-to-unit mapping policy."""
+
+    #: the executor runs the stealing rebalancer after assignment
+    uses_work_stealing: bool = False
+
+    #: the executor runs the scheduling-window re-forwarding pass
+    #: (Figure 4): queued tasks may be re-targeted before execution,
+    #: using the policy's own distance-aware cost estimates.
+    uses_window_rescheduling: bool = False
+
+    def __init__(self, context: SchedulerContext):
+        self.context = context
+
+    @abc.abstractmethod
+    def choose_unit(self, task: Task) -> int:
+        """Return the unit id that should execute ``task``."""
+
+    def _fallback_unit(self, task: Task) -> int:
+        """Where a hint-less task runs: where it was spawned."""
+        return task.spawner_unit

@@ -1,0 +1,22 @@
+"""Design **B**: co-locate each task with its main data element.
+
+The widely used baseline (Section 2.3): every task runs in the NDP
+unit whose local memory stores the task's *first* hint element — in
+Page Rank, the to-be-updated vertex.  Cheap and local, but blind to the
+task's other accesses and to load imbalance.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler.base import Scheduler
+from repro.runtime.task import Task
+
+
+class ColocateScheduler(Scheduler):
+    """Run the task at the home of its first hint address."""
+
+    def choose_unit(self, task: Task) -> int:
+        if task.hint.num_addresses == 0:
+            return self._fallback_unit(task)
+        main_addr = int(task.hint.addresses[0])
+        return self.context.memory_map.home_unit(main_addr)

@@ -1,0 +1,103 @@
+"""Designs **Sh**/**O**: the hybrid score-based policy (Section 5.2).
+
+For a task ``t`` every unit ``u`` is scored
+
+    score(t, u) = cost_mem(t, u) + B * cost_load(t, u)        (Eq. 1)
+
+* ``cost_mem`` — mean distance from ``u`` to the nearest allowed
+  location (camp or home) of each hint element (Eq. 2).  Without a
+  Traveller Cache (design Sh) the only allowed location is the home;
+  with it (design O) the camps participate, which both spreads hot-data
+  tasks across the camps *and* exploits the skewed mapping to find a
+  group where a task's multiple elements sit close together.
+* ``cost_load`` — ``W_u / W_mean - 1`` (Eq. 3) from the periodically
+  exchanged workload counters (the last exchanged snapshot, with a
+  deadband and an idle-system floor against counter-quantization
+  noise).
+* ``B = alpha * D_inter`` with ``alpha = d/2`` by default — an idle
+  unit may be up to half the mesh diameter further from the data and
+  still win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scheduler.base import Scheduler
+from repro.runtime.task import Task
+
+
+class HybridScheduler(Scheduler):
+    """argmin of Equation 1 over all units.
+
+    Near-ties break toward the unit *closest to the spawner*: when
+    several units score within ``tie_tolerance_ns`` of the minimum, the
+    task stays near where it was created.  All 128 distributed
+    schedulers share the same stale snapshot between exchanges, so a
+    strict global argmin would send every concurrently scheduled task
+    with a flat score surface to the same momentarily-idle unit (a
+    thundering-herd limit cycle); breaking ties toward the spawner
+    disperses the herd — spawners are spread across the machine — while
+    also preserving locality (a task's spawner usually sits next to its
+    data) and keeping the forwarding message short.
+    """
+
+    @property
+    def uses_window_rescheduling(self):
+        """The scheduling-window re-forwarding is part of the load-
+        balancing machinery: with B = 0 the policy degenerates to pure
+        distance scheduling (the alpha = 0 point of Figure 17), so the
+        re-forwarding is disabled along with the load term."""
+        return self.context.hybrid_weight > 0.0
+
+
+    def __init__(self, context, use_camps: bool = False):
+        super().__init__(context)
+        self.use_camps = use_camps and context.camp_mapper is not None
+        # Stability knobs, taken from the configuration (see
+        # SchedulerConfig): the near-tie dispersion window; the
+        # |cost_load| deadband below which counter-quantization noise
+        # is treated as balance; and the mean-W floor under which the
+        # machine is draining as fast as it fills (queue occupancies
+        # are then 0-or-1 noise, not a load signal — e.g. K-means —
+        # and the policy falls back to pure distance scheduling).
+        self.tie_tolerance_ns = context.tie_tolerance_ns
+        self.load_deadband = context.load_deadband
+        self.load_floor_cycles = context.load_floor_cycles
+
+    def _pick(self, scores: np.ndarray, task: Task) -> int:
+        best = scores.min()
+        near = np.nonzero(scores <= best + self.tie_tolerance_ns)[0]
+        if len(near) == 1:
+            return int(near[0])
+        from_spawner = self.context.cost_matrix[task.spawner_unit, near]
+        return int(near[int(np.argmin(from_spawner))])
+
+    def load_cost_vector(self, spawner_unit: int) -> np.ndarray:
+        """cost_load(u) for every unit (Equation 3).
+
+        All counters come from the last exchanged snapshot — every
+        entry at the same staleness, so the comparison is unbiased
+        (see WorkloadExchange.visible_workloads).
+        """
+        ctx = self.context
+        w = ctx.exchange.visible_workloads(spawner_unit)
+        mean = w.mean()
+        if mean <= self.load_floor_cycles:
+            return np.zeros_like(w)
+        load = w / mean - 1.0
+        load[np.abs(load) < self.load_deadband] = 0.0
+        return load
+
+    def score_vector(self, task: Task) -> np.ndarray:
+        ctx = self.context
+        mem = ctx.mem_cost_vector(task, use_camps=self.use_camps)
+        load = self.load_cost_vector(task.spawner_unit)
+        return mem + ctx.hybrid_weight * load
+
+    def choose_unit(self, task: Task) -> int:
+        if task.hint.num_addresses == 0:
+            # No data preference: pure load balancing.
+            load = self.load_cost_vector(task.spawner_unit)
+            return self._pick(load * self.context.hybrid_weight, task)
+        return self._pick(self.score_vector(task), task)

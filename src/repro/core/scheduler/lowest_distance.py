@@ -1,0 +1,54 @@
+"""Design **Sm** (and the mapping half of **C**): lowest-distance mapping.
+
+Considers *all* data elements a task accesses and picks, among the
+units that actually host one of them, the unit with the minimum average
+distance to all of them (Section 2.3: "maximally co-locate the tasks
+with their data").  Restricting the candidates to the data homes is
+what makes this a *mapping* policy: the task lands next to some of its
+data, rather than drifting to whichever unit happens to minimise mean
+distance (which, for scattered access sets, is always the centre of the
+mesh and would turn the central stacks into a global hotspot far beyond
+what the paper's Figure 2 reports for LDM).
+
+When a Traveller Cache is present (design C) the mapping still scores
+against home locations only — C is "basic lowest-distance task mapping"
+per Table 2; the cache shortens accesses at run time but does not
+inform placement.
+
+Near-ties (within a small distance tolerance) break toward the task's
+main element's home: when several data homes offer essentially the same
+total distance, the mapping keeps the task where the baseline would
+have put it rather than drifting toward whichever candidate happens to
+sit nearest the mesh centre — a drift that would otherwise concentrate
+most of the machine's tasks on the central stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scheduler.base import Scheduler
+from repro.runtime.task import Task
+
+
+class LowestDistanceScheduler(Scheduler):
+    """argmin over data-hosting units of the mean home distance."""
+
+    #: candidates within this distance of the best are considered tied.
+    tie_tolerance_ns: float = 5.0
+
+    def choose_unit(self, task: Task) -> int:
+        ctx = self.context
+        if task.hint.num_addresses == 0:
+            return self._fallback_unit(task)
+        lines = ctx.hint_lines(task)
+        homes = ctx.memory_map.homes_of_lines(lines)
+        candidates = np.unique(homes)
+        # Mean distance from each candidate to every hint element.
+        dists = ctx.cost_matrix[np.ix_(candidates, homes)].mean(axis=1)
+        best_cost = dists.min()
+        tied = candidates[dists <= best_cost + self.tie_tolerance_ns]
+        main_home = ctx.memory_map.home_unit(int(task.hint.addresses[0]))
+        if main_home in tied:
+            return main_home
+        return int(candidates[int(np.argmin(dists))])

@@ -1,0 +1,116 @@
+"""Design **Sl**: lowest-distance placement plus dynamic work stealing.
+
+Placement is identical to Sm; at run time, units that would otherwise
+idle steal queued tasks from the most loaded unit (Section 2.3, [13]).
+Stolen tasks execute away from their data's preferred location, so each
+steal trades remote-access cost for balance — the exact tradeoff the
+paper's Figure 2 illustrates.
+
+The simulator applies stealing as an explicit rebalancing pass over the
+per-unit queues before execution: thieves (least-loaded units) take
+tasks from the *back* of the victim's queue (the classic steal end)
+whenever doing so reduces the makespan estimate.
+
+Crucially, the steal decision is **distance-blind**: a thief balances
+on the tasks' workload estimates (the same hint-derived value the
+queues track) and has no idea how much extra remote-access cost the
+move incurs — that cost materialises at execution time, which is
+exactly the Figure 2 tradeoff the paper describes ("scheduling tasks
+away from their preferred locations ... would inevitably introduce
+more remote accesses").  Every steal also charges a fixed overhead to
+the thief.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.scheduler.base import Scheduler
+from repro.core.scheduler.lowest_distance import LowestDistanceScheduler
+from repro.runtime.task import Task
+
+
+class WorkStealingScheduler(LowestDistanceScheduler):
+    """Sm placement; the executor additionally runs the stealing pass."""
+
+    uses_work_stealing = True
+
+
+def rebalance_by_stealing(
+    tasks_by_unit: List[List[Task]],
+    estimate: Callable[[Task, int], float],
+    cores_per_unit: int,
+    steal_overhead: float = 200.0,
+    max_steals: Optional[int] = None,
+    on_move: Optional[Callable[[Task, int, int, float, float], None]] = None,
+) -> int:
+    """Greedy steal pass: move queue tails from busiest to idlest units.
+
+    ``estimate(task, unit)`` returns the task's expected duration in
+    cycles when executed at ``unit``.  Returns the number of steals
+    performed; ``tasks_by_unit`` is mutated in place and every moved
+    task's ``assigned_unit`` is updated.  ``on_move(task, victim,
+    thief, old_estimate, new_estimate)`` lets the caller keep external
+    bookkeeping (the W counters) consistent with each move.
+    """
+    n = len(tasks_by_unit)
+    if n < 2:
+        return 0
+
+    # Cache each task's duration estimate at its current unit.
+    est_cache = {}
+    loads = np.zeros(n, dtype=np.float64)
+    for u, tasks in enumerate(tasks_by_unit):
+        for t in tasks:
+            d = estimate(t, u)
+            est_cache[t.task_id] = d
+            loads[u] += d
+    loads /= max(1, cores_per_unit)
+
+    total_tasks = sum(len(ts) for ts in tasks_by_unit)
+    if max_steals is None:
+        max_steals = total_tasks  # every task may move at most ~once
+
+    steals = 0
+    # Units whose queue tail proved unprofitable to steal from; they
+    # become eligible again after any successful move changes loads.
+    exhausted = np.zeros(n, dtype=bool)
+    masked = np.empty(n, dtype=np.float64)
+    while steals < max_steals:
+        masked[:] = loads
+        masked[exhausted] = -np.inf
+        victim = int(np.argmax(masked))
+        thief = int(np.argmin(loads))
+        if not np.isfinite(masked[victim]):
+            break  # every victim exhausted
+        if victim == thief or len(tasks_by_unit[victim]) <= cores_per_unit:
+            # A unit whose queued tasks all run concurrently on its own
+            # cores cannot finish earlier by giving one up; stealing
+            # from it only adds migration and remote-access cost.
+            exhausted[victim] = True
+            continue
+        task = tasks_by_unit[victim][-1]  # steal the youngest task
+        old_d = est_cache[task.task_id]
+        new_d = estimate(task, thief) + steal_overhead
+        # Profitable only if the thief finishes it before the victim
+        # would have started it — i.e. the gap exceeds the new cost.
+        gap = (loads[victim] - loads[thief]) * cores_per_unit
+        if new_d >= gap - 1e-9:
+            # This victim's tail is too expensive to move right now;
+            # try the next-most-loaded victim instead of giving up.
+            exhausted[victim] = True
+            continue
+        tasks_by_unit[victim].pop()
+        tasks_by_unit[thief].append(task)
+        task.assigned_unit = thief
+        task.stolen = True
+        est_cache[task.task_id] = new_d
+        if on_move is not None:
+            on_move(task, victim, thief, old_d, new_d)
+        loads[victim] -= old_d / cores_per_unit
+        loads[thief] += new_d / cores_per_unit
+        steals += 1
+        exhausted[:] = False
+    return steals

@@ -1,0 +1,100 @@
+"""Per-unit task queue with scheduling and prefetch windows (Figure 4).
+
+The queue is a FIFO of tasks destined for one NDP unit.  Two sliding
+windows at the front drive the pipeline:
+
+* the **prefetch window** — the prefetch unit issues requests for the
+  hint addresses of these tasks so their data is resident before a core
+  picks them up;
+* the **scheduling window** (new in ABNDP) — the task scheduler examines
+  these tasks and may re-target them to a better unit before they
+  commit to local execution.
+
+The simulator's executor tracks phases as plain per-unit lists (it has
+a global view and needs none of the window mechanics at run time); this
+class exists as the faithful structural model of Figure 4 for unit
+tests and for users building finer-grained executors on the runtime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.runtime.task import Task
+
+
+class TaskQueue:
+    """FIFO task queue of one NDP unit."""
+
+    def __init__(self, scheduling_window: int = 16, prefetch_window: int = 8):
+        if scheduling_window < 0 or prefetch_window < 0:
+            raise ValueError("window sizes must be non-negative")
+        self.scheduling_window = scheduling_window
+        self.prefetch_window = prefetch_window
+        self._queue: Deque[Task] = deque()
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def enqueue(self, task: Task) -> None:
+        self._queue.append(task)
+        self.total_enqueued += 1
+
+    def enqueue_front(self, task: Task) -> None:
+        """Return a task to the head (e.g. after a failed steal)."""
+        self._queue.appendleft(task)
+
+    def dequeue(self) -> Task:
+        if not self._queue:
+            raise IndexError("dequeue from an empty task queue")
+        self.total_dequeued += 1
+        return self._queue.popleft()
+
+    def steal_from_back(self) -> Optional[Task]:
+        """Victim side of work stealing: give up the *youngest* task.
+
+        Classic work-stealing deques steal from the opposite end the
+        owner pops from, minimising contention and keeping the hot
+        (prefetched) tasks local.
+        """
+        if not self._queue:
+            return None
+        self.total_dequeued += 1
+        return self._queue.pop()
+
+    # ------------------------------------------------------------------
+    def prefetch_candidates(self) -> List[Task]:
+        """Tasks currently inside the prefetch window."""
+        return list(self._peek(self.prefetch_window))
+
+    def scheduling_candidates(self) -> List[Task]:
+        """Tasks currently inside the scheduling window."""
+        return list(self._peek(self.scheduling_window))
+
+    def _peek(self, n: int) -> Iterator[Task]:
+        for i, task in enumerate(self._queue):
+            if i >= n:
+                break
+            yield task
+
+    def remove(self, task: Task) -> bool:
+        """Remove a specific task (it was re-scheduled elsewhere)."""
+        try:
+            self._queue.remove(task)
+        except ValueError:
+            return False
+        return True
+
+    def queued_workload(self) -> float:
+        """Sum of the booked workloads of the queued tasks (W_u)."""
+        return sum(t.booked_workload for t in self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()

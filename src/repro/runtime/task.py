@@ -1,0 +1,142 @@
+"""The task abstraction (Section 3.1): function, timestamp, hint, args.
+
+A task mirrors the paper's Swarm-like model::
+
+    enqueue_task(func_ptr, timestamp, hint, args...)
+
+* ``func`` is the Python callable executed for the task; it receives a
+  :class:`TaskContext` (through which it may enqueue children) followed
+  by its ``args``.
+* ``timestamp`` orders bulk-synchronous phases: all tasks of timestamp
+  ``t`` run before any task of ``t + 1``, and primary-data updates are
+  applied in bulk at the barrier between them.
+* ``hint`` carries the data-access address list (exact cacheline-level
+  information for the scheduler and prefetcher) and an optional
+  programmer-provided workload estimate.
+
+Tasks also carry a ``compute_cycles`` estimate produced by the workload
+port — the cost-model equivalent of the instructions the task's inner
+loop would execute on the in-order NDP core.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class TaskHint:
+    """Scheduler-visible task metadata (Section 3.1).
+
+    ``addresses`` lists the physical byte addresses of the *primary
+    data* the task will access (single cachelines or small ranges,
+    flattened to addresses).  Auxiliary/stack data are deliberately
+    omitted, as in the paper.
+
+    ``workload`` is the optional programmer-supplied complexity value;
+    when ``None`` the scheduler estimates load from the address list
+    (the mode used throughout the paper's evaluation).
+    """
+
+    addresses: np.ndarray
+    workload: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.addresses = np.asarray(self.addresses, dtype=np.int64)
+
+    @property
+    def num_addresses(self) -> int:
+        return int(self.addresses.size)
+
+    @staticmethod
+    def empty() -> "TaskHint":
+        return TaskHint(addresses=np.empty(0, dtype=np.int64))
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work."""
+
+    func: Callable[..., Any]
+    timestamp: int
+    hint: TaskHint
+    args: Tuple = ()
+    # Cost-model inputs filled by the workload port:
+    compute_cycles: float = 50.0
+    # Unit that created (spawned) this task; scheduling happens there.
+    spawner_unit: int = 0
+    # Filled by the scheduler:
+    assigned_unit: int = -1
+    # Set when work stealing moved the task off its preferred unit;
+    # the thief pays the steal overhead at execution time.
+    stolen: bool = False
+    # Workload value booked into W_u at enqueue time (set by the
+    # executor from the scheduler's access-cost estimate).
+    booked_workload: float = 0.0
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    @property
+    def instructions(self) -> float:
+        """Instruction estimate for core energy (1 IPC in-order core)."""
+        return self.compute_cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(id={self.task_id}, ts={self.timestamp}, "
+            f"|hint|={self.hint.num_addresses}, unit={self.assigned_unit})"
+        )
+
+
+class TaskContext:
+    """Execution context handed to task functions.
+
+    Provides the ``enqueue_task`` API of Section 3.1 plus access to the
+    workload's shared state.  Children are buffered and handed to the
+    executor at the end of the current task.
+    """
+
+    def __init__(self, current_unit: int, timestamp: int, state: Any = None):
+        self.current_unit = current_unit
+        self.timestamp = timestamp
+        self.state = state
+        self._spawned: List[Task] = []
+
+    def enqueue_task(
+        self,
+        func: Callable[..., Any],
+        timestamp: int,
+        hint: TaskHint,
+        *args: Any,
+        compute_cycles: float = 50.0,
+    ) -> Task:
+        """Create a child task (the paper's ``enqueue_task``).
+
+        Bulk-synchronous semantics require children to run in a later
+        phase: updates only become visible after the barrier, so a
+        same-timestamp child would observe inconsistent state.
+        """
+        if timestamp <= self.timestamp:
+            raise ValueError(
+                f"child timestamp {timestamp} must exceed the current "
+                f"timestamp {self.timestamp} (bulk-synchronous phases)"
+            )
+        task = Task(
+            func=func,
+            timestamp=timestamp,
+            hint=hint,
+            args=args,
+            compute_cycles=compute_cycles,
+            spawner_unit=self.current_unit,
+        )
+        self._spawned.append(task)
+        return task
+
+    def drain_spawned(self) -> List[Task]:
+        spawned, self._spawned = self._spawned, []
+        return spawned

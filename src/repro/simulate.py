@@ -1,0 +1,83 @@
+"""One-call simulation helpers: the public entry points most users need.
+
+    from repro import simulate, compare_designs
+    result = simulate("O", "pr")
+    results = compare_designs(["B", "Sl", "O"], "pr")
+
+Every run builds a fresh machine (caches cold, counters zero) from the
+paper's Table 1 configuration, optionally overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import RunResult
+from repro.config import SystemConfig, default_config, experiment_config
+from repro.core.system import DESIGN_POINTS, build_system
+import repro.workloads  # noqa: F401  (imports register the workload factories)
+from repro.workloads.base import Workload, make_workload
+
+WorkloadLike = Union[str, Workload]
+
+#: the designs of Table 2 in presentation order (H is analytic).
+ALL_DESIGNS = ("B", "Sm", "Sl", "Sh", "C", "O")
+
+#: the workloads of Section 6 in Figure 6 order.
+ALL_WORKLOADS = ("pr", "bfs", "sssp", "astar", "gcn", "kmeans", "knn", "spmv")
+
+#: the workload subset shown in the detailed figures (8, 9, 11-18).
+DETAIL_WORKLOADS = ("pr", "bfs", "gcn", "knn", "spmv")
+
+
+def _resolve_workload(workload: WorkloadLike, **kwargs) -> Workload:
+    if isinstance(workload, Workload):
+        return workload
+    return make_workload(workload, **kwargs)
+
+
+def simulate(
+    design: str,
+    workload: WorkloadLike,
+    config: Optional[SystemConfig] = None,
+    verify: bool = False,
+    **workload_kwargs,
+) -> RunResult:
+    """Run one (design, workload) pair and return its metrics.
+
+    ``workload`` is a registered name ("pr", "bfs", ...) or a prepared
+    :class:`~repro.workloads.base.Workload` instance (which can be
+    reused across designs so every design sees the identical dataset).
+    With ``verify=True`` the workload's answer is checked against its
+    independent reference implementation after the run.
+
+    ``config`` defaults to :func:`repro.config.experiment_config` — the
+    Table 1 machine with the workload-exchange interval scaled to the
+    reduced dataset sizes (see the constant's docstring).
+    """
+    wl = _resolve_workload(workload, **workload_kwargs)
+    if config is None:
+        config = experiment_config()
+    system = build_system(design, config)
+    return system.run(wl, verify=verify)
+
+
+def compare_designs(
+    designs: Sequence[str],
+    workload: WorkloadLike,
+    config: Optional[SystemConfig] = None,
+    **workload_kwargs,
+) -> Dict[str, RunResult]:
+    """Run the same workload (same dataset) across several designs."""
+    wl = _resolve_workload(workload, **workload_kwargs)
+    return {d: simulate(d, wl, config) for d in designs}
+
+
+def sweep(
+    design: str,
+    workload: WorkloadLike,
+    configs: Dict[str, SystemConfig],
+) -> Dict[str, RunResult]:
+    """Run one design/workload across a dict of named configurations."""
+    wl = _resolve_workload(workload)
+    return {name: simulate(design, wl, cfg) for name, cfg in configs.items()}

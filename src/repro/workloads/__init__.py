@@ -1,0 +1,36 @@
+"""The eight NDP-friendly applications of Section 6, in the task model.
+
+Every workload is ported onto the ``enqueue_task`` API the same way the
+paper ports them onto its Swarm-like runtime: one task per data element
+per bulk-synchronous timestamp, with exact data-access hints built from
+the application's own index structures (neighbor lists, column indices,
+KD-tree paths).
+"""
+
+from repro.workloads.base import Workload, make_workload, WORKLOAD_FACTORIES
+from repro.workloads.graph import Graph
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.sssp import SsspWorkload
+from repro.workloads.astar import AStarWorkload
+from repro.workloads.gcn import GcnWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.knn import KnnWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.cc import ConnectedComponentsWorkload
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "WORKLOAD_FACTORIES",
+    "Graph",
+    "PageRankWorkload",
+    "BfsWorkload",
+    "SsspWorkload",
+    "AStarWorkload",
+    "GcnWorkload",
+    "KMeansWorkload",
+    "KnnWorkload",
+    "SpmvWorkload",
+    "ConnectedComponentsWorkload",
+]

@@ -1,0 +1,93 @@
+"""Workload protocol: how an application plugs into the simulator.
+
+A workload owns a (seeded, deterministic) dataset and knows how to
+
+1. allocate its *primary data* into the machine's home memory regions
+   (``setup`` — returns the run's mutable state),
+2. produce the root tasks of timestamp 0 (``root_tasks``); further
+   tasks are spawned by task bodies via ``ctx.enqueue_task``,
+3. apply bulk updates at each timestamp barrier (``on_barrier``), and
+4. check its final answer against an independent reference
+   (``verify`` — raises on mismatch).
+
+Task *hints* list the physical addresses of every primary-data element
+the task touches, exactly as the paper's programmers supply them from
+the application's own index structures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.runtime.task import Task, TaskHint
+
+
+class Workload(abc.ABC):
+    """Base class for the eight ported applications."""
+
+    #: short name used in figures ("pr", "bfs", ...)
+    name: str = "workload"
+
+    #: How primary-data elements are distributed across the units'
+    #: home memories.  ``"blocked"`` (contiguous ranges, the partition
+    #: used by Tesseract-style graph frameworks and the source of the
+    #: paper's data hotspots) or ``"round_robin"``.  Instances may
+    #: override the class default.
+    layout: str = "blocked"
+
+    @abc.abstractmethod
+    def setup(self, system) -> Any:
+        """Allocate primary data on ``system``; return run state."""
+
+    @abc.abstractmethod
+    def root_tasks(self, state) -> List[Task]:
+        """Tasks of the first timestamp."""
+
+    def on_barrier(self, timestamp: int, state) -> None:
+        """Bulk-apply updates at the end of ``timestamp`` (default: none)."""
+
+    def verify(self, state) -> None:
+        """Raise AssertionError if the computed answer is wrong."""
+
+    # ------------------------------------------------------------------
+    # helpers shared by the ports
+    # ------------------------------------------------------------------
+    @staticmethod
+    def hint_for(addresses: Sequence[int]) -> TaskHint:
+        return TaskHint(addresses=np.asarray(addresses, dtype=np.int64))
+
+
+def vertex_hint(addresses: np.ndarray, v: int,
+                neighbors: np.ndarray) -> TaskHint:
+    """The standard graph-workload hint: the vertex's own record plus
+    its neighbors' records (used by pr, bfs, sssp and cc)."""
+    return TaskHint(
+        addresses=np.concatenate(([addresses[v]], addresses[neighbors]))
+    )
+
+
+#: name -> zero-argument factory producing the default-sized workload.
+WORKLOAD_FACTORIES: Dict[str, Callable[[], Workload]] = {}
+
+
+def register_workload(name: str):
+    """Class decorator registering a default factory under ``name``."""
+
+    def deco(cls):
+        cls.name = name
+        WORKLOAD_FACTORIES[name] = cls
+        return cls
+
+    return deco
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by its figure name."""
+    if name not in WORKLOAD_FACTORIES:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_FACTORIES)}"
+        )
+    return WORKLOAD_FACTORIES[name](**kwargs)

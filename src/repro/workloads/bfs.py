@@ -1,0 +1,129 @@
+"""Breadth-first search in the task model.
+
+Level-synchronous BFS: timestamp ``d`` runs one task per frontier
+vertex at distance ``d``.  A task scans its neighbor records and
+enqueues a task for every neighbor not yet queued; the ``queued``
+filter prevents duplicate tasks for the same vertex within a level
+(the standard visited bitmap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.runtime.task import Task
+from repro.workloads.base import Workload, register_workload, vertex_hint
+from repro.workloads.datasets import community_powerlaw_graph
+from repro.workloads.graph import Graph
+
+_BASE_CYCLES = 30.0
+_PER_NEIGHBOR_CYCLES = 6.0
+
+
+@dataclass
+class BfsState:
+    graph: Graph
+    addresses: np.ndarray
+    dist: np.ndarray          # -1 = unvisited
+    queued: np.ndarray        # bool: a task for this vertex exists
+    source: int
+    home_of: np.ndarray
+
+
+def _task_bfs(ctx, v: int) -> None:
+    st: BfsState = ctx.state
+    g = st.graph
+    st.dist[v] = ctx.timestamp
+    for u in g.neighbors(v):
+        u = int(u)
+        if st.queued[u]:
+            continue
+        st.queued[u] = True
+        neigh_u = g.neighbors(u)
+        ctx.enqueue_task(
+            _task_bfs,
+            ctx.timestamp + 1,
+            vertex_hint(st.addresses, u, neigh_u),
+            u,
+            compute_cycles=_BASE_CYCLES + _PER_NEIGHBOR_CYCLES * len(neigh_u),
+        )
+
+
+@register_workload("bfs")
+class BfsWorkload(Workload):
+    """Single-source BFS on a power-law graph."""
+
+    def __init__(
+        self,
+        num_vertices: int = 4096,
+        edges_per_vertex: int = 10,
+        source: Optional[int] = None,
+        seed: int = 23,
+        graph: Optional[Graph] = None,
+    ):
+        self.graph = graph if graph is not None else community_powerlaw_graph(
+            num_vertices, edges_per_vertex, seed=seed
+        )
+        # Default to a well-connected root (the usual BFS benchmark
+        # practice): the maximum-degree vertex.
+        self.source = (
+            source if source is not None else self.graph.max_degree_vertex()
+        )
+
+    def setup(self, system) -> BfsState:
+        g = self.graph
+        alloc = system.allocator()
+        region = alloc.alloc("bfs_vertices", g.num_vertices, elem_bytes=64, layout=self.layout)
+        dist = np.full(g.num_vertices, -1, dtype=np.int64)
+        queued = np.zeros(g.num_vertices, dtype=bool)
+        queued[self.source] = True
+        return BfsState(
+            graph=g,
+            addresses=region.addresses,
+            dist=dist,
+            queued=queued,
+            source=self.source,
+            home_of=system.memory_map.home_units(region.addresses),
+        )
+
+    def root_tasks(self, state: BfsState) -> List[Task]:
+        v = state.source
+        neigh = state.graph.neighbors(v)
+        return [
+            Task(
+                func=_task_bfs,
+                timestamp=0,
+                hint=vertex_hint(state.addresses, v, neigh),
+                args=(v,),
+                compute_cycles=_BASE_CYCLES + _PER_NEIGHBOR_CYCLES * len(neigh),
+                spawner_unit=int(state.home_of[v]),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def reference_distances(self) -> np.ndarray:
+        """Plain queue-based BFS for verification."""
+        g = self.graph
+        dist = np.full(g.num_vertices, -1, dtype=np.int64)
+        dist[self.source] = 0
+        frontier = [self.source]
+        d = 0
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in g.neighbors(v):
+                    if dist[u] < 0:
+                        dist[u] = d + 1
+                        nxt.append(int(u))
+            frontier = nxt
+            d += 1
+        return dist
+
+    def verify(self, state: BfsState) -> None:
+        expected = self.reference_distances()
+        if not np.array_equal(state.dist, expected):
+            bad = int((state.dist != expected).sum())
+            raise AssertionError(f"BFS distances differ at {bad} vertices")

@@ -1,0 +1,129 @@
+"""Compressed-sparse-row graph container used by the graph workloads.
+
+Stored as symmetric (undirected) CSR by default; the graph analytics
+workloads treat ``neighbors(v)`` as both the in- and out-neighborhood,
+matching the undirected real-world graphs the paper evaluates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Graph:
+    """CSR adjacency with optional edge weights."""
+
+    num_vertices: int
+    indptr: np.ndarray   # (V+1,) int64
+    indices: np.ndarray  # (E,)   int64
+    weights: Optional[np.ndarray] = None  # (E,) float64
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if len(self.indptr) != self.num_vertices + 1:
+            raise ValueError("indptr length must be num_vertices + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr does not span the edge array")
+        if (np.diff(self.indptr) < 0).any():
+            raise ValueError("indptr must be non-decreasing")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if len(self.weights) != len(self.indices):
+                raise ValueError("weights length must match indices")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count (an undirected edge counts twice)."""
+        return len(self.indices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("graph has no weights")
+        return self.weights[self.indptr[v]:self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def max_degree_vertex(self) -> int:
+        return int(np.argmax(self.degrees))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        symmetric: bool = True,
+        weights: Optional[Iterable[float]] = None,
+    ) -> "Graph":
+        """Build a CSR graph from an edge list.
+
+        With ``symmetric=True`` (default) every (u, v) also inserts
+        (v, u); duplicate edges are removed.
+        """
+        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        if edge_arr.size == 0:
+            indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            return cls(num_vertices, indptr, np.empty(0, dtype=np.int64))
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+        if edge_arr.min() < 0 or edge_arr.max() >= num_vertices:
+            raise ValueError("edge endpoint out of range")
+
+        w_arr = None
+        if weights is not None:
+            w_arr = np.asarray(list(weights), dtype=np.float64)
+            if len(w_arr) != len(edge_arr):
+                raise ValueError("weights length must match edges")
+
+        if symmetric:
+            rev = edge_arr[:, ::-1]
+            edge_arr = np.concatenate([edge_arr, rev])
+            if w_arr is not None:
+                w_arr = np.concatenate([w_arr, w_arr])
+
+        # Deduplicate (u, v) pairs, keeping the first weight seen.
+        keys = edge_arr[:, 0] * num_vertices + edge_arr[:, 1]
+        _, first_idx = np.unique(keys, return_index=True)
+        first_idx.sort()
+        edge_arr = edge_arr[first_idx]
+        if w_arr is not None:
+            w_arr = w_arr[first_idx]
+
+        order = np.lexsort((edge_arr[:, 1], edge_arr[:, 0]))
+        edge_arr = edge_arr[order]
+        if w_arr is not None:
+            w_arr = w_arr[order]
+
+        counts = np.bincount(edge_arr[:, 0], minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(num_vertices, indptr, edge_arr[:, 1].copy(), w_arr)
+
+    def connected_component_of(self, source: int) -> np.ndarray:
+        """Vertices reachable from ``source`` (used to pick BFS roots)."""
+        seen = np.zeros(self.num_vertices, dtype=bool)
+        seen[source] = True
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in self.neighbors(v):
+                    if not seen[u]:
+                        seen[u] = True
+                        nxt.append(int(u))
+            frontier = nxt
+        return np.nonzero(seen)[0]

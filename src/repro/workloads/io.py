@@ -1,0 +1,166 @@
+"""Loading real datasets from files.
+
+The paper evaluates on SNAP graphs and UFL (SuiteSparse) matrices.
+This module parses the two interchange formats those collections ship,
+so a user with the actual files can run the reproduction on the real
+inputs instead of the synthetic generators:
+
+* :func:`load_snap_edges` — SNAP plain edge lists (``#`` comments,
+  whitespace-separated ``src dst`` pairs, optional weight column);
+* :func:`load_matrix_market` — MatrixMarket ``.mtx`` coordinate files
+  (the SuiteSparse download format), returned as the simulator's
+  :class:`~repro.workloads.datasets.SparseMatrix`.
+
+Vertex/row ids are compacted to a dense 0..n-1 range; SNAP graphs are
+symmetrized (the evaluation treats them as undirected).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.datasets import SparseMatrix
+from repro.workloads.graph import Graph
+
+PathOrFile = Union[str, TextIO]
+
+
+def _open(source: PathOrFile):
+    if isinstance(source, str):
+        return open(source, "r"), True
+    return source, False
+
+
+def load_snap_edges(
+    source: PathOrFile,
+    symmetric: bool = True,
+    weighted: bool = False,
+) -> Graph:
+    """Parse a SNAP-style edge list into a CSR graph.
+
+    Lines starting with ``#`` (or ``%``) are comments.  Each data line
+    holds ``src dst`` and, with ``weighted=True``, a third weight
+    column.  Node ids may be arbitrary non-negative integers; they are
+    remapped to a dense range in first-seen order.
+    """
+    fh, owned = _open(source)
+    try:
+        ids: Dict[int, int] = {}
+        edges: List[Tuple[int, int]] = []
+        weights: List[float] = []
+
+        def dense(raw: int) -> int:
+            if raw not in ids:
+                ids[raw] = len(ids)
+            return ids[raw]
+
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"line {lineno}: expected 'src dst', got {line!r}"
+                )
+            u, v = dense(int(parts[0])), dense(int(parts[1]))
+            if u == v:
+                continue  # drop self loops
+            edges.append((u, v))
+            if weighted:
+                if len(parts) < 3:
+                    raise ValueError(
+                        f"line {lineno}: weighted load needs a 3rd column"
+                    )
+                weights.append(float(parts[2]))
+
+        if not ids:
+            raise ValueError("edge list contains no edges")
+        return Graph.from_edges(
+            len(ids), edges, symmetric=symmetric,
+            weights=weights if weighted else None,
+        )
+    finally:
+        if owned:
+            fh.close()
+
+
+def load_matrix_market(
+    source: PathOrFile,
+    vector_seed: int = 17,
+) -> SparseMatrix:
+    """Parse a MatrixMarket coordinate file into a SparseMatrix.
+
+    Supports the ``matrix coordinate real/integer/pattern`` header
+    with the ``general`` or ``symmetric`` qualifier.  ``pattern``
+    entries get value 1.0; symmetric files are expanded.  The dense
+    input vector (SpMV's x) is generated deterministically.
+    """
+    fh, owned = _open(source)
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a MatrixMarket file")
+        fields = header.lower().split()
+        if "coordinate" not in fields:
+            raise ValueError("only coordinate format is supported")
+        pattern = "pattern" in fields
+        symmetric = "symmetric" in fields
+        if "complex" in fields:
+            raise ValueError("complex matrices are not supported")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(v) for v in line.split())
+
+        entries: Dict[Tuple[int, int], float] = {}
+        for _ in range(nnz):
+            parts = fh.readline().split()
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            val = 1.0 if pattern else float(parts[2])
+            entries[(i, j)] = val
+            if symmetric and i != j:
+                entries[(j, i)] = val
+
+        by_row: Dict[int, List[Tuple[int, float]]] = {}
+        for (i, j), val in entries.items():
+            by_row.setdefault(i, []).append((j, val))
+
+        indptr = np.zeros(rows + 1, dtype=np.int64)
+        indices: List[int] = []
+        values: List[float] = []
+        for i in range(rows):
+            row = sorted(by_row.get(i, []))
+            indptr[i + 1] = indptr[i] + len(row)
+            indices.extend(j for j, _ in row)
+            values.extend(v for _, v in row)
+
+        rng = np.random.default_rng(vector_seed)
+        return SparseMatrix(
+            rows=rows,
+            cols=cols,
+            indptr=indptr,
+            indices=np.asarray(indices, dtype=np.int64),
+            values=np.asarray(values, dtype=np.float64),
+            vector=rng.uniform(-1.0, 1.0, size=cols),
+        )
+    finally:
+        if owned:
+            fh.close()
+
+
+def save_snap_edges(graph: Graph, path: str) -> None:
+    """Write a graph back out as a SNAP edge list (each undirected
+    edge once)."""
+    with open(path, "w") as fh:
+        fh.write(f"# Nodes: {graph.num_vertices} "
+                 f"Edges: {graph.num_edges // 2}\n")
+        src = np.repeat(np.arange(graph.num_vertices),
+                        np.diff(graph.indptr))
+        for u, v in zip(src, graph.indices):
+            if u < v:
+                fh.write(f"{u}\t{v}\n")

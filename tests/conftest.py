@@ -1,0 +1,35 @@
+"""Shared fixtures: small machines and datasets that keep tests fast."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CacheStyle,
+    SchedulerConfig,
+    SystemConfig,
+    TopologyConfig,
+    default_config,
+)
+
+
+@pytest.fixture
+def table1_config() -> SystemConfig:
+    """The paper's full-size Table 1 configuration."""
+    return default_config()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 2x2-stack machine (32 units) for fast end-to-end tests."""
+    return default_config().scaled(2, 2)
+
+
+@pytest.fixture
+def tiny_cacheless_config() -> SystemConfig:
+    """2x2 stacks, no remote-data cache."""
+    cfg = default_config().scaled(2, 2)
+    return cfg.with_(
+        cache=dataclasses.replace(cfg.cache, style=CacheStyle.NONE)
+    ).validate()

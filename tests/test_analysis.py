@@ -1,0 +1,146 @@
+"""Unit tests for the analysis layer: metrics, stats, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import RunResult
+from repro.analysis.reporting import (
+    format_breakdown,
+    format_comparison_table,
+    format_series,
+    normalize,
+)
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    distribution_summary,
+    geomean,
+    imbalance_ratio,
+    quartiles,
+)
+from repro.arch.dram import DramStats
+from repro.arch.energy import EnergyBreakdown
+from repro.arch.noc import TrafficMeter
+from repro.arch.sram import SramStats
+from repro.core.cache.traveller import CacheStatsTotal
+
+
+def make_result(makespan=1000.0, hops=50, cycles=None, energy=None):
+    return RunResult(
+        design="O",
+        workload="pr",
+        makespan_cycles=makespan,
+        active_cycles_per_core=np.asarray(
+            cycles if cycles is not None else [100.0, 200.0, 300.0, 400.0]
+        ),
+        traffic=TrafficMeter(inter_hops=hops),
+        dram=DramStats(),
+        sram=SramStats(),
+        cache=CacheStatsTotal(),
+        energy=energy or EnergyBreakdown(
+            core_sram_pj=10, dram_pj=20, interconnect_pj=30, static_pj=40
+        ),
+    )
+
+
+class TestStats:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_quartiles(self):
+        q = quartiles(range(1, 101))
+        assert q["min"] == 1 and q["max"] == 100
+        assert 49 <= q["median"] <= 52
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio([1.0, 1.0, 1.0]) == 1.0
+        assert imbalance_ratio([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_cov(self):
+        assert coefficient_of_variation([5.0, 5.0]) == 0.0
+        assert coefficient_of_variation([0.0, 10.0]) == pytest.approx(1.0)
+
+    def test_distribution_summary_keys(self):
+        s = distribution_summary([1.0, 2.0, 3.0])
+        assert {"min", "q25", "median", "q75", "max",
+                "imbalance", "cov"} <= set(s)
+
+
+class TestRunResult:
+    def test_speedup(self):
+        fast = make_result(makespan=500.0)
+        slow = make_result(makespan=1000.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_ratios(self):
+        a = make_result(hops=100)
+        b = make_result(hops=50)
+        assert b.hops_ratio_over(a) == pytest.approx(0.5)
+        assert a.energy_ratio_over(a) == pytest.approx(1.0)
+
+    def test_zero_hop_baseline(self):
+        none = make_result(hops=0)
+        some = make_result(hops=5)
+        assert none.hops_ratio_over(none) == 0.0
+        assert some.hops_ratio_over(none) == float("inf")
+
+    def test_load_imbalance(self):
+        r = make_result(cycles=[100.0, 100.0, 100.0, 500.0])
+        assert r.load_imbalance() == pytest.approx(500.0 / 200.0)
+
+    def test_sorted_curve(self):
+        r = make_result(cycles=[3.0, 1.0, 2.0, 4.0])
+        assert r.sorted_active_cycles().tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_summary_mentions_key_fields(self):
+        text = make_result().summary()
+        assert "O/pr" in text and "hops" in text and "makespan" in text
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1, 2, 3, 4)
+        assert e.total_pj == 10
+        assert e.total_uj == pytest.approx(1e-5)
+
+    def test_normalized_to(self):
+        a = EnergyBreakdown(10, 20, 30, 40)
+        b = EnergyBreakdown(5, 10, 15, 20)
+        parts = b.normalized_to(a)
+        assert parts["total"] == pytest.approx(0.5)
+        assert parts["dram"] == pytest.approx(0.1)
+
+    def test_as_dict(self):
+        d = EnergyBreakdown(1, 2, 3, 4).as_dict()
+        assert d["total_pj"] == 10
+
+
+class TestReporting:
+    def test_normalize(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ZeroDivisionError):
+            normalize({"a": 0.0}, "a")
+
+    def test_comparison_table(self):
+        text = format_comparison_table(
+            "T", ["r1", "r2"], ["c1", "c2"],
+            [[1.0, 2.0], [3.0, 4.0]],
+        )
+        assert "r1" in text and "c2" in text and "4.000" in text
+
+    def test_series(self):
+        text = format_series("S", "x", [1, 2], {"y": [0.5, 0.6]})
+        assert "0.600" in text and text.startswith("S")
+
+    def test_breakdown(self):
+        text = format_breakdown(
+            "B", ["d1"], {"dram": [0.4], "noc": [0.6]}
+        )
+        assert "1.000" in text  # the total column

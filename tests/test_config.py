@@ -1,0 +1,172 @@
+"""Unit tests for repro.config: Table 1 values and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CacheStyle,
+    CampMapping,
+    CoreConfig,
+    MemoryConfig,
+    NocConfig,
+    ReplacementPolicy,
+    SchedulerConfig,
+    SchedulingPolicy,
+    SramConfig,
+    SystemConfig,
+    TopologyConfig,
+    default_config,
+    describe_config,
+    experiment_config,
+    GB,
+    MB,
+)
+
+
+class TestTopologyConfig:
+    def test_default_shape_matches_table1(self):
+        topo = TopologyConfig()
+        assert topo.mesh_rows == 4 and topo.mesh_cols == 4
+        assert topo.units_per_stack == 8
+        assert topo.num_stacks == 16
+        assert topo.num_units == 128
+
+    def test_diameter_of_4x4_mesh_is_6(self):
+        assert TopologyConfig().diameter == 6
+
+    def test_diameter_scales_with_mesh(self):
+        assert TopologyConfig(mesh_rows=2, mesh_cols=2).diameter == 2
+        assert TopologyConfig(mesh_rows=8, mesh_cols=8).diameter == 14
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(mesh_rows=0).validate()
+        with pytest.raises(ValueError):
+            TopologyConfig(units_per_stack=0).validate()
+
+
+class TestCoreConfig:
+    def test_table1_values(self):
+        core = CoreConfig()
+        assert core.frequency_ghz == 2.0
+        assert core.cores_per_unit == 2
+        assert core.energy_per_instr_pj == 371.0
+
+    def test_cycle_conversion_roundtrip(self):
+        core = CoreConfig()
+        assert core.cycles(10.0) == 20.0
+        assert core.cycle_ns == 0.5
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            CoreConfig(frequency_ghz=0).validate()
+
+
+class TestMemoryConfig:
+    def test_access_latency_is_trcd_plus_tcas(self):
+        mem = MemoryConfig()
+        assert mem.access_latency_ns == 34.0
+
+    def test_line_bits(self):
+        assert MemoryConfig().line_bits == 512
+
+    def test_access_energy_includes_act_pre_fraction(self):
+        mem = MemoryConfig()
+        expected = 512 * 5.0 + 0.5 * 535.8
+        assert mem.access_energy_pj() == pytest.approx(expected)
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(cacheline_bytes=48).validate()
+
+
+class TestNocConfig:
+    def test_distance_costs_follow_hardware_latencies(self):
+        noc = NocConfig()
+        assert noc.d_local == 0.0
+        assert noc.d_intra == 1.5
+        assert noc.d_inter == 10.0
+
+
+class TestCacheConfig:
+    def test_cache_bytes_is_fraction_of_local_memory(self):
+        cache = CacheConfig()
+        mem = MemoryConfig()
+        assert cache.cache_bytes(mem) == 512 * MB // 64  # 8 MB
+
+    def test_num_sets_matches_section_4_3_arithmetic(self):
+        # 512MB/64 / 64B / 4 ways = 32768 sets (paper Section 4.3).
+        assert CacheConfig().num_sets(MemoryConfig()) == 32768
+
+    def test_num_groups_is_camps_plus_home(self):
+        assert CacheConfig(num_camps=3).num_groups() == 4
+        assert CacheConfig(num_camps=7).num_groups() == 8
+
+    def test_rejects_bad_bypass_probability(self):
+        with pytest.raises(ValueError):
+            CacheConfig(bypass_probability=1.5).validate()
+
+    def test_tiny_cache_rejected_for_high_associativity(self):
+        cfg = CacheConfig(capacity_ratio=1 << 30, associativity=4)
+        with pytest.raises(ValueError):
+            cfg.num_sets(MemoryConfig())
+
+
+class TestSchedulerConfig:
+    def test_default_alpha_is_half_diameter(self):
+        sched = SchedulerConfig()
+        assert sched.resolved_alpha(TopologyConfig()) == 3.0
+
+    def test_explicit_alpha_wins(self):
+        sched = SchedulerConfig(hybrid_alpha=1.5)
+        assert sched.resolved_alpha(TopologyConfig()) == 1.5
+
+    def test_hybrid_weight_is_alpha_times_d_inter(self):
+        sched = SchedulerConfig()
+        assert sched.hybrid_weight(TopologyConfig(), NocConfig()) == 30.0
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(exchange_interval_cycles=0).validate()
+
+
+class TestSystemConfig:
+    def test_total_capacity_is_64gb(self):
+        assert default_config().total_capacity == 64 * GB
+
+    def test_validate_rejects_indivisible_groups(self):
+        cfg = default_config()
+        bad = cfg.with_(
+            cache=dataclasses.replace(cfg.cache, num_camps=2)  # 3 groups
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_cacheless_config_ignores_group_divisibility(self):
+        cfg = default_config()
+        ok = cfg.with_(
+            cache=dataclasses.replace(
+                cfg.cache, num_camps=2, style=CacheStyle.NONE
+            )
+        )
+        ok.validate()  # must not raise
+
+    def test_scaled_returns_new_mesh(self):
+        cfg = default_config().scaled(8, 8)
+        assert cfg.num_units == 512
+
+    def test_describe_mentions_key_table1_strings(self):
+        text = describe_config(default_config())
+        assert "4x4 stacks" in text
+        assert "64 GB in total" in text
+        assert "1/64 of local mem. capacity" in text
+        assert "B = 3 x D_inter" in text
+
+    def test_experiment_config_scales_exchange_interval(self):
+        cfg = experiment_config()
+        assert cfg.scheduler.exchange_interval_cycles < 100_000
+        # Everything else stays at Table 1 values.
+        assert cfg.topology.num_units == 128
+        assert cfg.cache.capacity_ratio == 64

@@ -1,0 +1,85 @@
+"""Unit tests for the DRAM channel and SRAM analytic models."""
+
+import pytest
+
+from repro.arch.dram import DramChannel, DramStats
+from repro.arch.sram import (
+    SramModel,
+    SramStats,
+    sram_access_energy_pj,
+    sram_area_mm2,
+)
+from repro.config import KB, MB, MemoryConfig, SramConfig
+
+
+class TestDramChannel:
+    def test_access_latency(self):
+        assert DramChannel(MemoryConfig()).access_latency_ns == 34.0
+
+    def test_row_hit_latency_is_tcas(self):
+        assert DramChannel(MemoryConfig()).row_hit_latency_ns == 17.0
+
+    def test_energy_counts_all_event_kinds(self):
+        ch = DramChannel(MemoryConfig())
+        stats = DramStats(reads=10, writes=5, cache_fills=3,
+                          cache_reads=2, tag_accesses_in_dram=1)
+        assert stats.total_accesses == 21
+        assert ch.energy_pj(stats) == pytest.approx(21 * ch.access_energy_pj())
+
+    def test_stats_merge(self):
+        a = DramStats(reads=1)
+        b = DramStats(writes=2, cache_fills=3)
+        a.merge(b)
+        assert (a.reads, a.writes, a.cache_fills) == (1, 2, 3)
+
+    def test_stats_reset(self):
+        s = DramStats(reads=9)
+        s.reset()
+        assert s.total_accesses == 0
+
+
+class TestSramAreaModel:
+    def test_calibration_anchor_8mb(self):
+        """Section 7.2: an 8 MB SRAM data array needs ~16.12 mm^2."""
+        assert sram_area_mm2(8 * MB) == pytest.approx(16.12, rel=1e-6)
+
+    def test_traveller_tag_array_is_far_smaller(self):
+        """Section 7.2: Traveller's ~160 kB tag array needs ~0.32 mm^2."""
+        area = sram_area_mm2(160 * KB)
+        assert 0.1 < area < 0.5
+
+    def test_monotone_in_capacity(self):
+        assert sram_area_mm2(1 * MB) < sram_area_mm2(2 * MB)
+
+    def test_zero_capacity_zero_area(self):
+        assert sram_area_mm2(0) == 0.0
+
+    def test_overhead_inflates_area(self):
+        assert sram_area_mm2(1 * MB, 0.25) > sram_area_mm2(1 * MB)
+
+
+class TestSramEnergyModel:
+    def test_anchor(self):
+        assert sram_access_energy_pj(64 * KB) == pytest.approx(20.0)
+
+    def test_sqrt_scaling(self):
+        assert sram_access_energy_pj(256 * KB) == pytest.approx(40.0)
+
+
+class TestSramModel:
+    def test_energy_sums_structures(self):
+        model = SramModel(SramConfig())
+        stats = SramStats(l1_accesses=2, prefetch_accesses=3, tag_accesses=5)
+        expected = 2 * 20.0 + 3 * 8.0 + 5 * 5.0
+        assert model.energy_pj(stats) == pytest.approx(expected)
+
+    def test_area_includes_tag_array(self):
+        without = SramModel(SramConfig(), tag_array_bytes=0)
+        with_tags = SramModel(SramConfig(), tag_array_bytes=160 * KB)
+        assert with_tags.total_area_mm2() > without.total_area_mm2()
+        assert with_tags.tag_area_mm2() > 0
+
+    def test_stats_merge(self):
+        a, b = SramStats(l1_accesses=1), SramStats(tag_accesses=2)
+        a.merge(b)
+        assert a.l1_accesses == 1 and a.tag_accesses == 2

@@ -1,0 +1,211 @@
+"""Integration tests for the bulk-synchronous executor."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import experiment_config
+from repro.core.system import build_system
+from repro.runtime.executor import _interleave_by_spawner
+from repro.runtime.task import Task, TaskHint
+
+
+def small_system(design="B"):
+    return build_system(design, experiment_config().scaled(2, 2))
+
+
+def make_task(system, unit=0, ts=0, compute=100.0, spawner=0):
+    addr = unit * system.memory_map.unit_capacity
+    return Task(
+        func=lambda ctx: None,
+        timestamp=ts,
+        hint=TaskHint(addresses=np.array([addr])),
+        compute_cycles=compute,
+        spawner_unit=spawner,
+    )
+
+
+class TestBasicExecution:
+    def test_empty_run(self):
+        system = small_system()
+        trace = system.executor.run([])
+        assert trace.tasks_executed == 0
+        assert trace.makespan_cycles == 0.0
+
+    def test_single_task(self):
+        system = small_system()
+        hits = []
+        t = make_task(system)
+        t.func = lambda ctx: hits.append(ctx.current_unit)
+        trace = system.executor.run([t])
+        assert trace.tasks_executed == 1
+        assert hits == [t.assigned_unit]
+        assert trace.makespan_cycles > t.compute_cycles
+
+    def test_task_functions_really_run(self):
+        system = small_system()
+        acc = {"sum": 0}
+
+        def body(ctx, x):
+            acc["sum"] += x
+
+        tasks = []
+        for i in range(10):
+            t = make_task(system, unit=i % 4)
+            t.func = body
+            t.args = (i,)
+            tasks.append(t)
+        system.executor.run(tasks)
+        assert acc["sum"] == sum(range(10))
+
+    def test_timestamps_execute_in_order(self):
+        system = small_system()
+        order = []
+
+        def body(ctx, ts):
+            order.append(ts)
+
+        tasks = []
+        for ts in (2, 0, 1):
+            t = make_task(system, ts=ts)
+            t.func = body
+            t.args = (ts,)
+            tasks.append(t)
+        trace = system.executor.run(tasks)
+        assert order == [0, 1, 2]
+        assert trace.timestamps_executed == 3
+
+    def test_children_run_in_later_phase(self):
+        system = small_system()
+        log = []
+
+        def child(ctx):
+            log.append(("child", ctx.timestamp))
+
+        def parent(ctx):
+            log.append(("parent", ctx.timestamp))
+            ctx.enqueue_task(child, ctx.timestamp + 1, TaskHint.empty())
+
+        t = make_task(system)
+        t.func = parent
+        system.executor.run([t])
+        assert log == [("parent", 0), ("child", 1)]
+
+    def test_max_timestamps_truncates(self):
+        system = small_system()
+
+        def self_replicating(ctx):
+            ctx.enqueue_task(self_replicating, ctx.timestamp + 1,
+                             TaskHint.empty())
+
+        t = make_task(system)
+        t.func = self_replicating
+        trace = system.executor.run([t], max_timestamps=3)
+        assert trace.timestamps_executed == 3
+
+    def test_on_barrier_called_per_phase(self):
+        system = small_system()
+        barriers = []
+        tasks = [make_task(system, ts=ts) for ts in (0, 1)]
+        system.executor.run(
+            tasks, on_barrier=lambda ts, state: barriers.append(ts)
+        )
+        assert barriers == [0, 1]
+
+    def test_on_barrier_can_emit_next_phase(self):
+        """Wave-synchronous workloads return new tasks at the barrier."""
+        system = small_system()
+        executed = []
+
+        def body(ctx, tag):
+            executed.append(tag)
+
+        def barrier(ts, state):
+            if ts == 0:
+                t = make_task(system, ts=1)
+                t.func = body
+                t.args = ("wave2",)
+                return [t]
+            return None
+
+        t0 = make_task(system)
+        t0.func = body
+        t0.args = ("wave1",)
+        trace = system.executor.run([t0], on_barrier=barrier)
+        assert executed == ["wave1", "wave2"]
+        assert trace.timestamps_executed == 2
+
+
+class TestAccounting:
+    def test_makespan_accumulates_barrier_costs(self):
+        system = small_system()
+        tasks = [make_task(system, ts=ts, compute=10.0) for ts in range(3)]
+        for t in tasks:
+            t.func = lambda ctx: None
+        trace = system.executor.run(tasks)
+        assert trace.makespan_cycles >= 3 * system.executor.BARRIER_CYCLES
+
+    def test_instructions_summed(self):
+        system = small_system()
+        tasks = [make_task(system, compute=50.0) for _ in range(4)]
+        trace = system.executor.run(tasks)
+        assert trace.instructions == pytest.approx(200.0)
+
+    def test_active_cycles_recorded_per_core(self):
+        system = small_system()
+        tasks = [make_task(system, unit=u) for u in range(4)]
+        system.executor.run(tasks)
+        total = sum(u.active_cycles for u in system.units)
+        assert total > 0
+        per_core = np.concatenate([u.core_active for u in system.units])
+        assert per_core.sum() == pytest.approx(total)
+
+    def test_parallelism_beats_serial_sum(self):
+        """Many equal tasks across units finish far faster than their
+        serial sum."""
+        system = small_system()
+        tasks = [make_task(system, unit=u % 32, compute=500.0)
+                 for u in range(64)]
+        trace = system.executor.run(tasks)
+        serial = sum(t.compute_cycles for t in tasks)
+        assert trace.makespan_cycles < serial / 4
+
+    def test_two_cores_overlap_within_unit(self):
+        system = small_system()
+        # Two tasks pinned to one unit: they run on the two cores.
+        tasks = [make_task(system, unit=3, compute=1000.0) for _ in range(2)]
+        trace = system.executor.run(tasks)
+        unit = system.units[tasks[0].assigned_unit]
+        assert unit.core_active[0] > 0 and unit.core_active[1] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        wl = repro.make_workload("pr", num_vertices=256, iterations=2)
+        a = repro.simulate("O", wl)
+        b = repro.simulate("O", wl)
+        assert a.makespan_cycles == b.makespan_cycles
+        assert a.inter_hops == b.inter_hops
+        assert a.cache.hits == b.cache.hits
+
+
+class TestInterleave:
+    def test_round_robins_spawners(self):
+        tasks = []
+        for spawner in (0, 0, 0, 1, 1, 2):
+            t = Task(func=lambda c: None, timestamp=0,
+                     hint=TaskHint.empty(), spawner_unit=spawner)
+            tasks.append(t)
+        order = [t.spawner_unit for t in _interleave_by_spawner(tasks)]
+        assert order == [0, 1, 2, 0, 1, 0]
+
+    def test_preserves_all_tasks(self):
+        tasks = [
+            Task(func=lambda c: None, timestamp=0, hint=TaskHint.empty(),
+                 spawner_unit=i % 5)
+            for i in range(23)
+        ]
+        out = _interleave_by_spawner(tasks)
+        assert sorted(t.task_id for t in out) == sorted(
+            t.task_id for t in tasks
+        )

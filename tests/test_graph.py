@@ -1,0 +1,109 @@
+"""Unit + property tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graph import Graph
+
+
+class TestFromEdges:
+    def test_symmetric_by_default(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2)])
+        assert 0 in g.neighbors(1)
+        assert 1 in g.neighbors(0)
+        assert g.num_edges == 4
+
+    def test_asymmetric_when_requested(self):
+        g = Graph.from_edges(4, [(0, 1)], symmetric=False)
+        assert 1 in g.neighbors(0)
+        assert g.degree(1) == 0
+
+    def test_duplicates_removed(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 1), (1, 0)])
+        assert g.degree(0) == 1 and g.degree(1) == 1
+
+    def test_weights_follow_edges(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], weights=[5.0, 7.0])
+        w01 = dict(zip(g.neighbors(0).tolist(),
+                       g.edge_weights(0).tolist()))[1]
+        assert w01 == 5.0
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(5, [])
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+    def test_out_of_range_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 5)])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_bad_edge_shape(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 1, 2)])
+
+
+class TestValidation:
+    def test_indptr_length(self):
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0, 1]), np.array([1]))
+
+    def test_indptr_span(self):
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0, 1, 5]), np.array([1]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_weights_length(self):
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0, 1, 2]), np.array([1, 0]),
+                  weights=np.array([1.0]))
+
+    def test_edge_weights_without_weights(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.edge_weights(0)
+
+
+class TestQueries:
+    def test_degrees_and_max(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.max_degree_vertex() == 0
+        assert g.degrees.tolist() == [3, 1, 1, 1]
+
+    def test_connected_component(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        comp = g.connected_component_of(0)
+        assert set(comp.tolist()) == {0, 1, 2}
+        comp2 = g.connected_component_of(4)
+        assert set(comp2.tolist()) == {4, 5}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    edges=st.lists(
+        st.tuples(st.integers(0, 39), st.integers(0, 39)),
+        min_size=0, max_size=120,
+    ),
+)
+def test_property_csr_well_formed(n, edges):
+    edges = [(a % n, b % n) for a, b in edges if a % n != b % n]
+    g = Graph.from_edges(n, edges)
+    # CSR invariants
+    assert g.indptr[0] == 0 and g.indptr[-1] == len(g.indices)
+    assert (np.diff(g.indptr) >= 0).all()
+    # Symmetry
+    for v in range(n):
+        for u in g.neighbors(v):
+            assert v in g.neighbors(int(u))
+    # Degree sum equals directed edge count
+    assert g.degrees.sum() == g.num_edges

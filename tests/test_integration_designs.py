@@ -1,0 +1,122 @@
+"""Cross-design integration tests: the paper's claims as invariants.
+
+These run small-but-meaningful instances and check the *relationships*
+the paper builds its argument on, independent of the benchmark suite.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import CampMapping, experiment_config
+from repro.workloads.pagerank import PageRankWorkload
+
+
+@pytest.fixture(scope="module")
+def pr_results():
+    wl = repro.make_workload("pr", num_vertices=1024, iterations=3)
+    return repro.compare_designs(repro.ALL_DESIGNS, wl)
+
+
+class TestTradeoffStructure:
+    """Figure 2's tradeoff, as stable invariants."""
+
+    def test_colocation_designs_do_not_add_hops(self, pr_results):
+        base = pr_results["B"]
+        assert pr_results["Sm"].inter_hops <= base.inter_hops * 1.02
+
+    def test_stealing_trades_hops_for_balance(self, pr_results):
+        sm, sl = pr_results["Sm"], pr_results["Sl"]
+        assert sl.load_imbalance() < sm.load_imbalance()
+        assert sl.inter_hops >= sm.inter_hops
+
+    def test_cache_reduces_hops_without_balancing(self, pr_results):
+        base, c = pr_results["B"], pr_results["C"]
+        assert c.inter_hops < base.inter_hops
+        # C inherits Sm's placement, so no balance improvement.
+        assert c.load_imbalance() >= 0.8 * pr_results["Sm"].load_imbalance()
+
+    def test_full_design_keeps_cache_benefit_and_balance(self, pr_results):
+        base, o, sl = pr_results["B"], pr_results["O"], pr_results["Sl"]
+        assert o.inter_hops < sl.inter_hops
+        assert o.load_imbalance() < pr_results["Sm"].load_imbalance()
+
+
+class TestCacheBehaviour:
+    def test_hits_accumulate_within_phase_and_reset_at_barrier(self):
+        """Bulk invalidation means insertions recur every phase."""
+        wl = PageRankWorkload(num_vertices=1024, iterations=1)
+        one = repro.simulate("C", wl)
+        wl3 = PageRankWorkload(num_vertices=1024, iterations=3)
+        three = repro.simulate("C", wl3)
+        # Roughly one cold-fill wave per phase.
+        assert three.cache.insertions > 2 * one.cache.insertions
+
+    def test_bypass_filters_insertions_not_hits(self):
+        wl = PageRankWorkload(num_vertices=1024, iterations=2)
+        cfg_no = experiment_config()
+        cfg_no = cfg_no.with_(cache=dataclasses.replace(
+            cfg_no.cache, bypass_probability=0.0)).validate()
+        cfg_heavy = experiment_config()
+        cfg_heavy = cfg_heavy.with_(cache=dataclasses.replace(
+            cfg_heavy.cache, bypass_probability=0.8)).validate()
+        r_no = repro.simulate("C", wl, cfg_no)
+        r_heavy = repro.simulate("C", wl, cfg_heavy)
+        assert r_heavy.cache.bypasses > r_no.cache.bypasses
+        assert r_heavy.cache.insertions < r_no.cache.insertions
+        # Hot lines still get cached after a few trials: hits survive.
+        assert r_heavy.cache.hit_rate > 0.25
+
+    def test_camp_mapping_variant_changes_placement_not_answers(self):
+        wl = PageRankWorkload(num_vertices=512, iterations=2)
+        cfg = experiment_config()
+        cfg_id = cfg.with_(cache=dataclasses.replace(
+            cfg.cache, camp_mapping=CampMapping.IDENTICAL)).validate()
+        repro.simulate("O", wl, cfg, verify=True)
+        repro.simulate("O", wl, cfg_id, verify=True)
+
+
+class TestSchedulingKnobs:
+    def test_alpha_zero_is_distance_only(self):
+        """With alpha=0 the hybrid ignores load entirely; hotspots
+        persist like Sm's."""
+        wl = repro.make_workload("knn", num_points=2048, num_queries=512)
+        cfg0 = experiment_config()
+        cfg0 = cfg0.with_(scheduler=dataclasses.replace(
+            cfg0.scheduler, hybrid_alpha=0.0)).validate()
+        r0 = repro.simulate("Sh", wl, cfg0)
+        r3 = repro.simulate("Sh", wl)
+        assert r3.load_imbalance() < r0.load_imbalance()
+
+    def test_steal_overhead_discourages_steals(self):
+        wl = repro.make_workload("knn", num_points=2048, num_queries=512)
+        cheap = experiment_config()
+        cheap = cheap.with_(scheduler=dataclasses.replace(
+            cheap.scheduler, steal_overhead_cycles=0.0)).validate()
+        dear = experiment_config()
+        dear = dear.with_(scheduler=dataclasses.replace(
+            dear.scheduler, steal_overhead_cycles=1e8)).validate()
+        r_cheap = repro.simulate("Sl", wl, cheap)
+        r_dear = repro.simulate("Sl", wl, dear)
+        assert r_dear.steals == 0
+        assert r_cheap.steals > 0
+
+    def test_contention_model_penalizes_hot_homes(self):
+        """With the DRAM service model on, the same run takes longer
+        and reports queueing (an ablation of our substrate model)."""
+        from repro.config import MemoryConfig
+        from repro.core.system import build_system
+
+        wl = PageRankWorkload(num_vertices=1024, iterations=2)
+        cfg_on = experiment_config(memory=MemoryConfig(service_ns=4.0))
+        sys_on = build_system("B", cfg_on)
+        state = wl.setup(sys_on)
+        sys_on.executor.run(wl.root_tasks(state), state=state,
+                            on_barrier=wl.on_barrier)
+        assert sys_on.memory_system.total_queue_delay_ns > 0
+
+        r_off = repro.simulate("B", wl)
+        r_on = repro.simulate("B", wl, cfg_on)
+        assert r_on.makespan_cycles > r_off.makespan_cycles

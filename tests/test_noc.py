@@ -1,0 +1,129 @@
+"""Unit tests for the interconnect model: costs, latency, traffic, energy."""
+
+import numpy as np
+import pytest
+
+from repro.arch.noc import AccessClass, Interconnect, TrafficMeter
+from repro.arch.topology import Topology
+from repro.config import MemoryConfig, NocConfig, TopologyConfig
+
+
+@pytest.fixture
+def noc() -> Interconnect:
+    topo = Topology(TopologyConfig(), num_groups=4)
+    return Interconnect(topo, NocConfig(), MemoryConfig())
+
+
+def _pick_pairs(noc):
+    """(local, intra-stack, inter-stack) unit pairs."""
+    topo = noc.topology
+    local = (0, 0)
+    stack_units = topo.units_in_stack(topo.stack_of(0))
+    intra = (0, int(stack_units[1]))
+    inter = (0, 127)
+    assert topo.hops_between(*inter) > 0
+    return local, intra, inter
+
+
+class TestClassification:
+    def test_three_classes(self, noc):
+        local, intra, inter = _pick_pairs(noc)
+        assert noc.classify(*local) is AccessClass.LOCAL
+        assert noc.classify(*intra) is AccessClass.INTRA_STACK
+        assert noc.classify(*inter) is AccessClass.INTER_STACK
+
+
+class TestCostMatrix:
+    def test_cost_values_per_class(self, noc):
+        local, intra, inter = _pick_pairs(noc)
+        cfg = noc.noc
+        assert noc.distance_cost(*local) == cfg.d_local
+        assert noc.distance_cost(*intra) == cfg.d_intra
+        hops = noc.topology.hops_between(*inter)
+        assert noc.distance_cost(*inter) == cfg.d_inter * hops
+
+    def test_cost_matrix_symmetry(self, noc):
+        m = noc.cost_matrix
+        assert np.allclose(m, m.T)
+
+    def test_read_only(self, noc):
+        with pytest.raises(ValueError):
+            noc.cost_matrix[0, 0] = 1.0
+
+
+class TestLatency:
+    def test_local_latency_zero(self, noc):
+        assert noc.one_way_latency_ns(3, 3) == 0.0
+
+    def test_intra_latency_is_one_crossbar_hop(self, noc):
+        _, intra, _ = _pick_pairs(noc)
+        assert noc.one_way_latency_ns(*intra) == 1.5
+
+    def test_inter_latency_includes_both_crossbars(self, noc):
+        _, _, inter = _pick_pairs(noc)
+        hops = noc.topology.hops_between(*inter)
+        expected = 2 * 1.5 + hops * 10.0
+        assert noc.one_way_latency_ns(*inter) == pytest.approx(expected)
+
+    def test_round_trip_is_twice_one_way(self, noc):
+        _, _, inter = _pick_pairs(noc)
+        assert noc.round_trip_latency_ns(*inter) == pytest.approx(
+            2 * noc.one_way_latency_ns(*inter)
+        )
+
+
+class TestTrafficAccounting:
+    def test_local_transfer_moves_no_bits(self, noc):
+        meter = TrafficMeter()
+        noc.record_transfer(meter, 5, 5)
+        assert meter.local_accesses == 1
+        assert meter.inter_bits == 0 and meter.intra_bits == 0
+
+    def test_intra_transfer(self, noc):
+        meter = TrafficMeter()
+        _, intra, _ = _pick_pairs(noc)
+        noc.record_transfer(meter, *intra)
+        assert meter.intra_transfers == 1
+        assert meter.intra_bits == 512
+        assert meter.inter_hops == 0
+
+    def test_inter_transfer_counts_hops_times_bits(self, noc):
+        meter = TrafficMeter()
+        _, _, inter = _pick_pairs(noc)
+        hops = noc.topology.hops_between(*inter)
+        noc.record_transfer(meter, *inter)
+        assert meter.inter_hops == hops
+        assert meter.inter_bits == 512 * hops
+        # endpoints also cross the two stack crossbars
+        assert meter.intra_transfers == 2
+
+    def test_round_trip_counts_request_and_response(self, noc):
+        meter = TrafficMeter()
+        _, _, inter = _pick_pairs(noc)
+        hops = noc.topology.hops_between(*inter)
+        noc.record_round_trip(meter, *inter, request_bits=128)
+        assert meter.inter_hops == 2 * hops
+        assert meter.inter_bits == (128 + 512) * hops
+        assert meter.messages == 2
+
+    def test_meter_merge_and_reset(self, noc):
+        a, b = TrafficMeter(), TrafficMeter()
+        _, _, inter = _pick_pairs(noc)
+        noc.record_transfer(a, *inter)
+        noc.record_transfer(b, *inter)
+        a.merge(b)
+        assert a.inter_hops == 2 * noc.topology.hops_between(*inter)
+        a.reset()
+        assert a.inter_hops == 0 and a.messages == 0
+
+
+class TestEnergy:
+    def test_energy_formula(self, noc):
+        meter = TrafficMeter()
+        _, _, inter = _pick_pairs(noc)
+        noc.record_transfer(meter, *inter)
+        expected = meter.inter_bits * 4.0 + meter.intra_bits * 0.4
+        assert noc.energy_pj(meter) == pytest.approx(expected)
+
+    def test_no_traffic_no_energy(self, noc):
+        assert noc.energy_pj(TrafficMeter()) == 0.0

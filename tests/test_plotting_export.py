@@ -1,0 +1,132 @@
+"""Unit tests for terminal plotting and result export."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.export import (
+    COLUMNS,
+    result_row,
+    to_csv,
+    to_json,
+    write_csv,
+    write_json,
+)
+from repro.analysis.plotting import (
+    bar_chart,
+    box_plot,
+    grouped_bar_chart,
+    line_series,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart("T", {"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        bar_a = lines[1].split()[-1]
+        bar_b = lines[2].split()[-1]
+        assert len(bar_b) > len(bar_a)
+
+    def test_baseline_gridline(self):
+        text = bar_chart("T", {"B": 1.0, "O": 0.4}, width=20, baseline="B")
+        assert "|" in text
+
+    def test_zero_values(self):
+        text = bar_chart("T", {"a": 0.0, "b": 0.0})
+        assert "0.00" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", {})
+
+
+class TestGroupedBarChart:
+    def test_shared_scale(self):
+        text = grouped_bar_chart(
+            "T", {"g1": {"x": 1.0}, "g2": {"x": 4.0}}, width=8
+        )
+        assert "g1:" in text and "g2:" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("T", {})
+
+
+class TestLineSeries:
+    def test_markers_and_legend(self):
+        text = line_series("T", [1, 2, 3], {"up": [1, 2, 3],
+                                            "down": [3, 2, 1]})
+        assert "u=up" in text and "d=down" in text
+        assert "u" in text
+
+    def test_flat_series_ok(self):
+        line_series("T", [1, 2], {"flat": [5.0, 5.0]})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_series("T", [1, 2], {"x": [1.0]})
+
+
+class TestBoxPlot:
+    def test_markers_present(self):
+        text = box_plot("T", {"d": list(range(100))})
+        assert "#" in text and "=" in text and "|" in text
+
+    def test_multiple_distributions_share_scale(self):
+        text = box_plot("T", {"low": [0, 1, 2], "high": [90, 95, 100]})
+        lines = [l for l in text.splitlines() if l.strip().startswith(("low", "high"))]
+        low_hash = lines[0].index("#")
+        high_hash = lines[1].index("#")
+        assert high_hash > low_hash
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            box_plot("T", {"d": []})
+
+
+class TestSparkline:
+    def test_length_and_extremes(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat(self):
+        assert len(set(sparkline([2.0, 2.0, 2.0]))) == 1
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return repro.simulate("B", "kmeans", num_points=128, iterations=1)
+
+
+class TestExport:
+    def test_row_covers_all_columns(self, small_result):
+        row = result_row(small_result)
+        assert set(row) == set(COLUMNS)
+
+    def test_csv_roundtrip(self, small_result):
+        text = to_csv([small_result, small_result])
+        lines = text.strip().splitlines()
+        assert lines[0].split(",")[0] == "design"
+        assert len(lines) == 3
+
+    def test_json_parses(self, small_result):
+        data = json.loads(to_json([small_result]))
+        assert data[0]["workload"] == "kmeans"
+        assert data[0]["tasks_executed"] == 128
+
+    def test_file_writers(self, small_result, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        write_csv(str(csv_path), [small_result])
+        write_json(str(json_path), [small_result])
+        assert csv_path.read_text().startswith("design,")
+        assert json.loads(json_path.read_text())

@@ -1,0 +1,262 @@
+"""Unit tests for the scheduling policies (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memory_map import MemoryMap
+from repro.arch.noc import Interconnect
+from repro.arch.topology import Topology
+from repro.config import (
+    CacheConfig,
+    MemoryConfig,
+    NocConfig,
+    TopologyConfig,
+)
+from repro.core.cache.camp import CampMapper
+from repro.core.scheduler.base import SchedulerContext
+from repro.core.scheduler.colocate import ColocateScheduler
+from repro.core.scheduler.hybrid import HybridScheduler
+from repro.core.scheduler.lowest_distance import LowestDistanceScheduler
+from repro.core.scheduler.work_stealing import (
+    WorkStealingScheduler,
+    rebalance_by_stealing,
+)
+from repro.runtime.task import Task, TaskHint
+from repro.runtime.workload_exchange import WorkloadExchange
+
+
+def make_context(with_camps: bool = False) -> SchedulerContext:
+    cache = CacheConfig(num_camps=3)
+    groups = cache.num_groups() if with_camps else 1
+    topo = Topology(TopologyConfig(), num_groups=groups)
+    memmap = MemoryMap(topo, MemoryConfig())
+    noc = Interconnect(topo, NocConfig(), MemoryConfig())
+    mapper = CampMapper(topo, memmap, cache) if with_camps else None
+    return SchedulerContext(
+        memory_map=memmap,
+        cost_matrix=noc.cost_matrix,
+        exchange=WorkloadExchange(topo, 250),
+        camp_mapper=mapper,
+        hybrid_weight=30.0,
+    )
+
+
+def task_with_addrs(ctx, addrs, spawner=0) -> Task:
+    return Task(
+        func=lambda c: None,
+        timestamp=0,
+        hint=TaskHint(addresses=np.asarray(addrs, dtype=np.int64)),
+        spawner_unit=spawner,
+    )
+
+
+def unit_addr(ctx, unit: int, offset: int = 0) -> int:
+    return unit * ctx.memory_map.unit_capacity + offset
+
+
+class TestColocate:
+    def test_runs_at_main_elements_home(self):
+        ctx = make_context()
+        sched = ColocateScheduler(ctx)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 9), unit_addr(ctx, 80)])
+        assert sched.choose_unit(t) == 9
+
+    def test_hintless_task_stays_at_spawner(self):
+        ctx = make_context()
+        sched = ColocateScheduler(ctx)
+        t = task_with_addrs(ctx, [], spawner=17)
+        assert sched.choose_unit(t) == 17
+
+
+class TestLowestDistance:
+    def test_single_address_behaves_like_colocate(self):
+        ctx = make_context()
+        sched = LowestDistanceScheduler(ctx)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 42)])
+        assert sched.choose_unit(t) == 42
+
+    def test_picks_the_data_hosting_majority(self):
+        """Three elements in unit 7, one far away: unit 7 wins."""
+        ctx = make_context()
+        sched = LowestDistanceScheduler(ctx)
+        addrs = [unit_addr(ctx, 7, off) for off in (0, 64, 128)]
+        addrs.append(unit_addr(ctx, 120))
+        t = task_with_addrs(ctx, addrs)
+        assert sched.choose_unit(t) == 7
+
+    def test_candidates_restricted_to_data_homes(self):
+        """The chosen unit always hosts at least one hint element."""
+        ctx = make_context()
+        sched = LowestDistanceScheduler(ctx)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            units = rng.integers(0, 128, size=8)
+            t = task_with_addrs(ctx, [unit_addr(ctx, int(u)) for u in units])
+            assert sched.choose_unit(t) in set(units.tolist())
+
+    def test_near_tie_prefers_main_home(self):
+        ctx = make_context()
+        sched = LowestDistanceScheduler(ctx)
+        stack_units = ctx.memory_map.topology.units_in_stack(0)
+        a, b = int(stack_units[0]), int(stack_units[1])
+        # Same stack: distances differ by <= d_intra, within tolerance.
+        t = task_with_addrs(ctx, [unit_addr(ctx, a), unit_addr(ctx, b)])
+        assert sched.choose_unit(t) == a
+
+
+class TestHybrid:
+    def test_reduces_to_distance_when_loads_equal(self):
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 3, off) for off in (0, 64)],
+                            spawner=3)
+        assert sched.choose_unit(t) == 3
+
+    def test_avoids_heavily_loaded_unit(self):
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        # Load unit 3 massively; the snapshot must reflect it.
+        for other in range(128):
+            ctx.exchange.on_enqueue(other, 2000.0)
+        ctx.exchange.on_enqueue(3, 100000.0)
+        ctx.exchange.force_exchange(0.0)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 3)], spawner=3)
+        chosen = sched.choose_unit(t)
+        assert chosen != 3
+        # ...but it stays nearby (same stack beats far idle units).
+        assert ctx.cost_matrix[3, chosen] <= 30.0
+
+    def test_idle_unit_attracts_within_weight_budget(self):
+        """An idle unit within B of the data location wins (Section 5.2's
+        intuition for choosing B)."""
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        # Everyone loaded except unit 5; data at unit 4 (loaded).
+        for u in range(128):
+            ctx.exchange.on_enqueue(u, 0.0 if u == 5 else 5000.0)
+        ctx.exchange.force_exchange(0.0)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 4)], spawner=4)
+        chosen = sched.choose_unit(t)
+        assert chosen == 5
+
+    def test_deadband_keeps_balanced_tasks_local(self):
+        """Noise-level load differences must not move local tasks
+        (K-means stays flat across designs, Section 7.1)."""
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        rng = np.random.default_rng(0)
+        for u in range(128):
+            ctx.exchange.on_enqueue(u, 1000.0 + rng.uniform(-50, 50))
+        ctx.exchange.force_exchange(0.0)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 77)], spawner=77)
+        assert sched.choose_unit(t) == 77
+
+    def test_camp_awareness_lowers_mem_cost(self):
+        ctx = make_context(with_camps=True)
+        plain = HybridScheduler(ctx, use_camps=False)
+        campy = HybridScheduler(ctx, use_camps=True)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 100)], spawner=0)
+        mem_plain = ctx.mem_cost_vector(t, use_camps=False)
+        mem_campy = ctx.mem_cost_vector(t, use_camps=True)
+        assert (mem_campy <= mem_plain + 1e-9).all()
+        assert mem_campy.sum() < mem_plain.sum()
+
+    def test_hintless_task_goes_to_idle_unit(self):
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        for u in range(128):
+            ctx.exchange.on_enqueue(u, 10.0 if u == 60 else 1000.0)
+        ctx.exchange.force_exchange(0.0)
+        t = task_with_addrs(ctx, [], spawner=60)
+        assert sched.choose_unit(t) == 60
+
+
+class TestWorkloadEstimate:
+    def test_workload_grows_with_distance(self):
+        ctx = make_context()
+        t = task_with_addrs(ctx, [unit_addr(ctx, 0)])
+        near = ctx.task_workload(t, 0)
+        far = ctx.task_workload(t, 127)
+        assert far > near
+
+    def test_programmer_value_overrides_estimate(self):
+        ctx = make_context()
+        t = Task(func=lambda c: None, timestamp=0,
+                 hint=TaskHint(addresses=np.array([0]), workload=777.0))
+        assert ctx.task_workload(t, 0) == 777.0
+        assert ctx.task_workload(t, 127) == 777.0
+
+    def test_hintless_task_costs_compute_only(self):
+        ctx = make_context()
+        t = task_with_addrs(ctx, [])
+        t.compute_cycles = 99.0
+        assert ctx.task_workload(t, 5) == 99.0
+
+    def test_camp_aware_estimate_never_larger(self):
+        ctx = make_context(with_camps=True)
+        ctx_plain = make_context(with_camps=False)
+        t = task_with_addrs(ctx, [unit_addr(ctx, 100)])
+        for u in (0, 50, 127):
+            assert ctx.task_workload(t, u) <= ctx_plain.task_workload(t, u) + 1e-9
+
+
+class TestRebalanceByStealing:
+    @staticmethod
+    def flat_estimate(task, unit):
+        return task.booked_workload
+
+    def _mk(self, w):
+        t = Task(func=lambda c: None, timestamp=0, hint=TaskHint.empty())
+        t.booked_workload = w
+        return t
+
+    def test_moves_from_loaded_to_idle(self):
+        heavy = [self._mk(100.0) for _ in range(10)]
+        by_unit = [list(heavy), []]
+        for t in heavy:
+            t.assigned_unit = 0
+        steals = rebalance_by_stealing(
+            by_unit, self.flat_estimate, cores_per_unit=1, steal_overhead=0.0
+        )
+        assert steals > 0
+        assert 3 <= len(by_unit[1]) <= 7
+        for t in by_unit[1]:
+            assert t.stolen and t.assigned_unit == 1
+
+    def test_respects_overhead(self):
+        """A huge steal overhead makes every move unprofitable."""
+        by_unit = [[self._mk(10.0), self._mk(10.0)], []]
+        steals = rebalance_by_stealing(
+            by_unit, self.flat_estimate, 1, steal_overhead=1e9
+        )
+        assert steals == 0
+
+    def test_skips_monster_tail_and_moves_other_victims(self):
+        """An unmovable giant task must not stall the whole pass."""
+        giant = self._mk(10_000.0)
+        light = [self._mk(100.0) for _ in range(10)]
+        by_unit = [[giant], list(light), []]
+        steals = rebalance_by_stealing(
+            by_unit, self.flat_estimate, 1, steal_overhead=0.0
+        )
+        assert steals > 0           # unit 1's tasks still rebalanced
+        assert by_unit[0] == [giant]
+
+    def test_single_unit_noop(self):
+        by_unit = [[self._mk(5.0)]]
+        assert rebalance_by_stealing(by_unit, self.flat_estimate, 1) == 0
+
+    def test_on_move_callback_fires(self):
+        moves = []
+        by_unit = [[self._mk(10.0) for _ in range(6)], []]
+        rebalance_by_stealing(
+            by_unit, self.flat_estimate, 1, steal_overhead=0.0,
+            on_move=lambda t, v, th, od, nd: moves.append((v, th)),
+        )
+        assert moves and all(m == (0, 1) for m in moves)
+
+    def test_work_stealing_scheduler_flags(self):
+        ctx = make_context()
+        assert WorkStealingScheduler(ctx).uses_work_stealing
+        assert not LowestDistanceScheduler(ctx).uses_work_stealing
+        assert HybridScheduler(ctx).uses_window_rescheduling

@@ -1,0 +1,187 @@
+"""Unit + property tests for the Traveller Cache array and policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, MemoryConfig, ReplacementPolicy
+from repro.core.cache.dram_tag_cache import DramTagCache
+from repro.core.cache.policies import (
+    LruReplacement,
+    ProbabilisticInsertion,
+    RandomReplacement,
+    make_replacement_policy,
+)
+from repro.core.cache.sram_cache import SramDataCache
+from repro.core.cache.traveller import CacheStatsTotal, TravellerCache
+
+
+def make_cache(bypass=0.0, repl=ReplacementPolicy.RANDOM, ratio=1 << 16,
+               assoc=4, seed=3):
+    """A tiny Traveller array (few sets) for fast tests."""
+    cfg = CacheConfig(
+        bypass_probability=bypass, replacement=repl,
+        capacity_ratio=ratio, associativity=assoc,
+    )
+    return TravellerCache(cfg, MemoryConfig(), np.random.default_rng(seed))
+
+
+class TestLookupInsert:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(100)
+        assert cache.insert(100)
+        assert cache.lookup(100)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.insertions == 1
+
+    def test_duplicate_insert_refused(self):
+        cache = make_cache()
+        assert cache.insert(5)
+        assert not cache.insert(5)
+        assert cache.stats.insertions == 1
+
+    def test_set_mapping_is_modulo(self):
+        cache = make_cache()
+        s = cache.num_sets
+        cache.insert(7)
+        assert cache._set_of(7) == cache._set_of(7 + s)
+
+    def test_eviction_when_set_full(self):
+        cache = make_cache(assoc=2)
+        s = cache.num_sets
+        lines = [3, 3 + s, 3 + 2 * s]  # all map to the same set
+        for line in lines:
+            cache.insert(line)
+        assert cache.stats.evictions == 1
+        present = [line for line in lines if cache.contains(line)]
+        assert len(present) == 2
+
+    def test_occupancy_and_capacity(self):
+        cache = make_cache()
+        for line in range(10):
+            cache.insert(line)
+        assert cache.occupancy() == 10
+        assert cache.capacity_lines == cache.num_sets * 4
+
+
+class TestBypass:
+    def test_full_bypass_never_inserts(self):
+        cache = make_cache(bypass=1.0)
+        for line in range(50):
+            assert not cache.insert(line)
+        assert cache.stats.bypasses == 50
+        assert cache.occupancy() == 0
+
+    def test_probabilistic_bypass_rate(self):
+        cache = make_cache(bypass=0.4, seed=11)
+        n = 2000
+        inserted = sum(cache.insert(line) for line in range(n))
+        assert 0.5 < inserted / n < 0.7  # ~60% insert rate
+
+    def test_hot_line_eventually_cached(self):
+        """The paper's argument: frequently accessed data will be
+        inserted after a few trials despite the bypass filter."""
+        cache = make_cache(bypass=0.4, seed=5)
+        line = 42
+        for _ in range(20):
+            if cache.lookup(line):
+                break
+            cache.insert(line)
+        assert cache.contains(line)
+
+
+class TestBulkInvalidation:
+    def test_invalidate_clears_everything(self):
+        cache = make_cache()
+        for line in range(20):
+            cache.insert(line)
+        cache.bulk_invalidate()
+        assert cache.occupancy() == 0
+        assert cache.stats.invalidation_rounds == 1
+        assert not cache.lookup(0)
+
+
+class TestReplacementPolicies:
+    def test_lru_prefers_oldest(self):
+        cache = make_cache(repl=ReplacementPolicy.LRU, assoc=2)
+        s = cache.num_sets
+        cache.insert(1)
+        cache.insert(1 + s)
+        cache.lookup(1)             # 1 is now MRU
+        cache.insert(1 + 2 * s)     # evicts 1+s
+        assert cache.contains(1)
+        assert not cache.contains(1 + s)
+
+    def test_factory(self):
+        assert isinstance(
+            make_replacement_policy(ReplacementPolicy.RANDOM), RandomReplacement
+        )
+        assert isinstance(
+            make_replacement_policy(ReplacementPolicy.LRU), LruReplacement
+        )
+
+    def test_random_choice_in_range(self):
+        policy = RandomReplacement()
+        rng = np.random.default_rng(0)
+        order = np.zeros(4, dtype=np.int64)
+        for _ in range(50):
+            assert 0 <= policy.choose_way(order, rng) < 4
+
+    def test_insertion_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticInsertion(1.2)
+
+
+class TestStatsAggregation:
+    def test_merge(self):
+        a = CacheStatsTotal(hits=1, misses=2, insertions=3)
+        b = CacheStatsTotal(hits=10, bypasses=4, home_direct=5)
+        a.merge(b)
+        assert a.hits == 11 and a.misses == 2
+        assert a.bypasses == 4 and a.home_direct == 5
+
+    def test_hit_rate(self):
+        s = CacheStatsTotal(hits=3, misses=1)
+        assert s.hit_rate == pytest.approx(0.75)
+        assert CacheStatsTotal().hit_rate == 0.0
+
+
+class TestFoilDesigns:
+    def test_sram_cache_reports_huge_data_area(self):
+        cfg = CacheConfig()
+        cache = SramDataCache(cfg, MemoryConfig(), np.random.default_rng(0))
+        # The paper's 8 MB SRAM cache needs ~16 mm^2.
+        assert cache.data_area_mm2() == pytest.approx(16.12, rel=0.01)
+
+    def test_dram_tag_cache_probe_penalty_and_area(self):
+        cfg = CacheConfig()
+        cache = DramTagCache(cfg, MemoryConfig(), np.random.default_rng(0))
+        assert cache.tag_probe_dram_accesses() == 1
+        assert cache.tag_area_mm2() == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lines=st.lists(st.integers(0, 10_000), min_size=1, max_size=300),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_cache_never_exceeds_capacity(lines, assoc):
+    cache = make_cache(assoc=assoc)
+    for line in lines:
+        if not cache.lookup(line):
+            cache.insert(line)
+        assert cache.contains(line)  # bypass=0: just-inserted is present
+    assert cache.occupancy() <= cache.capacity_lines
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_same_seed_same_behaviour(seed):
+    """Runs are deterministic given the RNG seed."""
+    a = make_cache(bypass=0.5, seed=seed)
+    b = make_cache(bypass=0.5, seed=seed)
+    outcomes_a = [a.insert(line) for line in range(100)]
+    outcomes_b = [b.insert(line) for line in range(100)]
+    assert outcomes_a == outcomes_b

@@ -1,0 +1,165 @@
+"""Workload correctness: every application's simulated answer matches
+an independent reference implementation, on multiple designs.
+
+These are the strongest integration tests in the suite: they exercise
+the allocator, the schedulers, the caches, the executor and the task
+bodies end to end — any misordering of phases, lost task, or stale
+double-buffer shows up as a wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import experiment_config
+from repro.workloads.astar import AStarWorkload
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.gcn import GcnWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.knn import KnnWorkload, build_kdtree, kd_search
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.sssp import SsspWorkload
+
+SMALL = dict(
+    pr=lambda: PageRankWorkload(num_vertices=512, iterations=3),
+    bfs=lambda: BfsWorkload(num_vertices=512),
+    sssp=lambda: SsspWorkload(num_vertices=512),
+    astar=lambda: AStarWorkload(rows=32, cols=32),
+    gcn=lambda: GcnWorkload(num_vertices=512, feature_dim=8),
+    kmeans=lambda: KMeansWorkload(num_points=512, iterations=2),
+    knn=lambda: KnnWorkload(num_points=512, num_queries=64),
+    spmv=lambda: SpmvWorkload(rows=512, iterations=2),
+)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+@pytest.mark.parametrize("design", ["B", "O"])
+def test_workload_correct_on_design(name, design):
+    """The headline designs compute the right answer for everything."""
+    wl = SMALL[name]()
+    repro.simulate(design, wl, verify=True)
+
+
+@pytest.mark.parametrize("design", ["Sm", "Sl", "Sh", "C"])
+def test_pagerank_correct_on_every_design(design):
+    """Scheduling policy and caching never change the computation."""
+    repro.simulate(design, SMALL["pr"](), verify=True)
+
+
+@pytest.mark.parametrize("name", ["knn", "spmv", "sssp"])
+@pytest.mark.parametrize("design", ["Sl", "C"])
+def test_hot_data_workloads_on_more_designs(name, design):
+    repro.simulate(design, SMALL[name](), verify=True)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_workloads_on_small_machine(name):
+    """Correctness is machine-shape independent (2x2 mesh)."""
+    from repro.config import experiment_config
+
+    cfg = experiment_config().scaled(2, 2)
+    repro.simulate("O", SMALL[name](), cfg, verify=True)
+
+
+class TestWorkloadShapes:
+    def test_pagerank_task_count(self):
+        wl = SMALL["pr"]()
+        r = repro.simulate("B", wl)
+        assert r.tasks_executed == 512 * 3
+        assert r.timestamps_executed == 3
+
+    def test_bfs_visits_component_once(self):
+        wl = SMALL["bfs"]()
+        r = repro.simulate("B", wl)
+        reachable = (wl.reference_distances() >= 0).sum()
+        assert r.tasks_executed == reachable
+
+    def test_kmeans_tasks_all_local(self):
+        wl = SMALL["kmeans"]()
+        r = repro.simulate("B", wl)
+        assert r.traffic.inter_hops == 0
+        assert r.traffic.intra_transfers == 0
+
+    def test_knn_hint_matches_search_path(self):
+        """The hint lists exactly the nodes/points the search visits."""
+        wl = SMALL["knn"]()
+        system = repro.build_system("B", experiment_config())
+        state = wl.setup(system)
+        tasks = wl.root_tasks(state)
+        q = 0
+        _, _, visited, scanned = kd_search(state.tree, state.queries[q],
+                                           state.k)
+        expected = 1 + len(visited) + len(scanned)
+        assert tasks[q].hint.num_addresses == expected
+
+    def test_spmv_hint_covers_row_and_vector(self):
+        wl = SMALL["spmv"]()
+        system = repro.build_system("B", experiment_config())
+        state = wl.setup(system)
+        tasks = wl.root_tasks(state)
+        cols, _ = state.matrix.row_slice(0)
+        assert tasks[0].hint.num_addresses >= len(cols) + 1
+
+    def test_gcn_runs_one_phase_per_layer(self):
+        wl = SMALL["gcn"]()
+        r = repro.simulate("B", wl)
+        assert r.timestamps_executed == wl.num_layers
+
+    def test_astar_stops_when_goal_settled(self):
+        wl = SMALL["astar"]()
+        r = repro.simulate("B", wl)
+        # Far fewer waves than the worst-case bound.
+        assert r.timestamps_executed < wl.max_rounds
+
+
+class TestKdTree:
+    def test_leaves_partition_points(self):
+        pts = np.random.default_rng(0).normal(size=(300, 3))
+        tree = build_kdtree(pts, leaf_size=16)
+        members = []
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                members.extend(tree.leaf_members(node).tolist())
+        assert sorted(members) == list(range(300))
+
+    def test_leaf_size_respected(self):
+        pts = np.random.default_rng(1).normal(size=(200, 2))
+        tree = build_kdtree(pts, leaf_size=10)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                assert tree.leaf_count[node] <= 10
+
+    def test_search_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(256, 4))
+        tree = build_kdtree(pts, leaf_size=8)
+        for _ in range(20):
+            q = rng.normal(size=4)
+            idx, dists, _, _ = kd_search(tree, q, k=3)
+            brute = np.argsort(((pts - q) ** 2).sum(axis=1))[:3]
+            d_found = np.sort(((pts[idx] - q) ** 2).sum(axis=1))
+            d_true = np.sort(((pts[brute] - q) ** 2).sum(axis=1))
+            assert np.allclose(d_found, d_true)
+
+    def test_search_path_contains_root_and_a_leaf(self):
+        pts = np.random.default_rng(3).normal(size=(128, 2))
+        tree = build_kdtree(pts, leaf_size=8)
+        _, _, visited, scanned = kd_search(tree, np.zeros(2), k=1)
+        assert visited[0] == 0
+        assert any(tree.is_leaf(n) for n in visited)
+        assert scanned
+
+
+class TestWorkloadRegistry:
+    def test_all_registered(self):
+        assert set(repro.ALL_WORKLOADS) <= set(repro.WORKLOAD_FACTORIES)
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(KeyError):
+            repro.make_workload("sorting-networks")
+
+    def test_make_workload_kwargs(self):
+        wl = repro.make_workload("pr", num_vertices=300, iterations=2)
+        assert wl.graph.num_vertices == 300
+        assert wl.iterations == 2
