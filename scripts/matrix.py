@@ -1,19 +1,46 @@
-"""Run the full Figure 6/7/8 matrix: all designs x all workloads."""
+"""Run the full Figure 6/7/8 matrix: all designs x all workloads.
 
+Fans the 48-point grid out over worker processes and routes every
+point through the content-addressed result cache, so a second
+invocation with unchanged configs replays from ``.repro_cache/`` in
+well under a second.  ``--no-cache`` forces live runs; ``--jobs 1``
+reproduces the old serial path (bit-identical results either way).
+"""
+
+import argparse
 import time
 
 import repro
 from repro.analysis.stats import geomean
+from repro.sweep import run_matrix
 
 
-def main():
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("-j", "--jobs", type=int, default=None,
+                    help="worker processes (default: all cores)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="bypass the on-disk result cache")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-point progress lines")
+    args = ap.parse_args(argv)
+
     t0 = time.time()
-    rows = {}
+    report = run_matrix(
+        cache=False if args.no_cache else "default",
+        jobs=args.jobs,
+        progress=None if args.quiet else (lambda m: print(m, flush=True)),
+    )
+    rows = report.results()
+    for o in report.failures:
+        print(f"FAILED {o.point.label}: "
+              f"{o.error.strip().splitlines()[-1]}")
+
     for name in repro.ALL_WORKLOADS:
-        wl = repro.make_workload(name)
-        res = repro.compare_designs(repro.ALL_DESIGNS, wl)
+        res = rows.get(name, {})
+        if "B" not in res:
+            continue
         base = res["B"]
-        rows[name] = res
         line = " ".join(
             f"{d}:{r.speedup_over(base):.2f}" for d, r in res.items()
         )
@@ -27,15 +54,20 @@ def main():
         print(f"{name:7} eng  {eline}", flush=True)
         print(f"{name:7} hops {hline}", flush=True)
 
-    print("\ngeomean speedups:")
-    for d in repro.ALL_DESIGNS:
-        if d == "B":
-            continue
-        g = geomean([rows[w][d].speedup_over(rows[w]["B"])
-                     for w in repro.ALL_WORKLOADS])
-        print(f"  {d}: {g:.3f}")
-    print(f"\ntotal {time.time()-t0:.0f}s")
+    complete = [w for w in repro.ALL_WORKLOADS
+                if all(d in rows.get(w, {}) for d in repro.ALL_DESIGNS)]
+    if complete:
+        print("\ngeomean speedups:")
+        for d in repro.ALL_DESIGNS:
+            if d == "B":
+                continue
+            g = geomean([rows[w][d].speedup_over(rows[w]["B"])
+                         for w in complete])
+            print(f"  {d}: {g:.3f}")
+    print(f"\n{report.summary()}")
+    print(f"total {time.time()-t0:.1f}s")
+    return 1 if report.failures else 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -47,9 +47,22 @@ from repro.simulate import (
     DETAIL_WORKLOADS,
     compare_designs,
     simulate,
-    sweep,
+    sweep_configs,
 )
 from repro.workloads.base import WORKLOAD_FACTORIES, Workload, make_workload
+
+# The sweep engine: parallel grid runs + the content-addressed result
+# cache.  ``repro.sweep`` is the package (its module object stays
+# callable with the legacy ``sweep(design, workload, configs)``
+# signature — see the package docstring).
+from repro import sweep
+from repro.sweep import (
+    ResultCache,
+    SweepRunner,
+    cached_simulate,
+    run_matrix,
+    run_point,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +93,12 @@ __all__ = [
     "simulate",
     "compare_designs",
     "sweep",
+    "sweep_configs",
+    "cached_simulate",
+    "run_point",
+    "run_matrix",
+    "SweepRunner",
+    "ResultCache",
     "ALL_DESIGNS",
     "ALL_WORKLOADS",
     "DETAIL_WORKLOADS",

@@ -5,15 +5,21 @@
     python -m repro run -d O -w pr           # one simulation
     python -m repro compare -w knn           # all designs on one workload
     python -m repro matrix                   # the full Figure 6/7/8 matrix
-    python -m repro sweep alpha -w pr        # a Section 7.2 sweep
+    python -m repro sweep                    # the same matrix, parallel +
+                                             # cached + sweep_results.json
+    python -m repro sweep alpha -w pr        # a Section 7.2 parameter sweep
 
-Results can be exported with ``--csv out.csv`` / ``--json out.json``.
+Every simulation routes through the content-addressed result cache in
+``.repro_cache/`` (``--no-cache`` bypasses it); grid commands fan out
+over ``--jobs`` worker processes.  Results can be exported with
+``--csv out.csv`` / ``--json out.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json as _json
 import sys
 from typing import Dict, List, Optional
 
@@ -23,6 +29,7 @@ from repro.analysis.metrics import RunResult
 from repro.analysis.plotting import bar_chart
 from repro.analysis.stats import geomean
 from repro.config import SystemConfig, describe_config, experiment_config
+from repro.sweep import SIMULATOR_VERSION, cached_simulate, run_matrix
 
 
 def _config_from_args(args) -> SystemConfig:
@@ -47,6 +54,11 @@ def _config_from_args(args) -> SystemConfig:
             cache_over["bypass_probability"] = args.bypass
         cfg = cfg.with_(cache=dataclasses.replace(cfg.cache, **cache_over))
     return cfg.validate()
+
+
+def _cache_from_args(args):
+    """The ``cache=`` argument for the sweep engine (False = bypass)."""
+    return False if getattr(args, "no_cache", False) else "default"
 
 
 def _export(args, results: List[RunResult]) -> None:
@@ -88,8 +100,14 @@ def cmd_designs(args) -> int:
 
 def cmd_run(args) -> int:
     cfg = _config_from_args(args)
-    result = repro.simulate(args.design, args.workload, cfg,
-                            verify=args.verify)
+    if args.verify:
+        # Verification re-runs the workload's reference algorithm
+        # against the just-computed answer, so it needs a live run.
+        result = repro.simulate(args.design, args.workload, cfg,
+                                verify=True)
+    else:
+        result = cached_simulate(args.design, args.workload, cfg,
+                                 cache=_cache_from_args(args))
     print(result.summary())
     if args.verify:
         print("answer verified against the reference implementation")
@@ -100,9 +118,9 @@ def cmd_run(args) -> int:
 def cmd_compare(args) -> int:
     cfg = _config_from_args(args)
     workload = repro.make_workload(args.workload)
-    results = {
-        d: repro.simulate(d, workload, cfg) for d in repro.ALL_DESIGNS
-    }
+    results = repro.compare_designs(
+        repro.ALL_DESIGNS, workload, cfg, cache=_cache_from_args(args)
+    )
     _print_comparison(results)
     base = results["B"]
     print()
@@ -117,12 +135,20 @@ def cmd_compare(args) -> int:
 
 def cmd_matrix(args) -> int:
     cfg = _config_from_args(args)
+    report = run_matrix(
+        config=cfg, cache=_cache_from_args(args), jobs=args.jobs,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    if report.failures:
+        for o in report.failures:
+            print(f"FAILED {o.point.label}: "
+                  f"{o.error.strip().splitlines()[-1]}", file=sys.stderr)
+        return 1
+    grid = report.results()
     all_results: List[RunResult] = []
     speedups: Dict[str, List[float]] = {d: [] for d in repro.ALL_DESIGNS}
     for name in repro.ALL_WORKLOADS:
-        workload = repro.make_workload(name)
-        row = {d: repro.simulate(d, workload, cfg)
-               for d in repro.ALL_DESIGNS}
+        row = grid[name]
         base = row["B"]
         line = f"{name:8}"
         for d in repro.ALL_DESIGNS:
@@ -130,10 +156,11 @@ def cmd_matrix(args) -> int:
             speedups[d].append(s)
             line += f" {d}:{s:5.2f}"
         print(line, flush=True)
-        all_results.extend(row.values())
+        all_results.extend(row[d] for d in repro.ALL_DESIGNS)
     print("geomean " + " ".join(
         f"{d}:{geomean(speedups[d]):5.2f}" for d in repro.ALL_DESIGNS
     ))
+    print(report.summary())
     _export(args, all_results)
     return 0
 
@@ -146,9 +173,106 @@ _SWEEPS = {
 }
 
 
+def _geomean_table(grid, designs, workloads) -> Dict[str, Dict[str, float]]:
+    """Geomean speedup/energy/hops ratios over B, per design.
+
+    Workloads whose baseline makes no inter-stack accesses (a hop
+    ratio of zero would zero the whole product) are excluded from the
+    hops geomean, matching the paper's Figure 8 treatment.
+    """
+    out = {"speedup": {}, "energy": {}, "hops": {}}
+    for d in designs:
+        if d == "B":
+            continue
+        rows = [(grid[w][d], grid[w]["B"]) for w in workloads]
+        out["speedup"][d] = geomean([r.speedup_over(b) for r, b in rows])
+        out["energy"][d] = geomean([r.energy_ratio_over(b) for r, b in rows])
+        hop_rows = [
+            r.hops_ratio_over(b) for r, b in rows
+            if b.inter_hops and r.inter_hops
+        ]
+        out["hops"][d] = geomean(hop_rows) if hop_rows else 0.0
+    return out
+
+
+def cmd_sweep_matrix(args) -> int:
+    """``python -m repro sweep`` with no parameter: the full design x
+    workload matrix, parallel and cached, with machine-readable output."""
+    cfg = _config_from_args(args)
+    designs = (args.designs.split(",") if args.designs
+               else list(repro.ALL_DESIGNS))
+    workloads = (args.workloads.split(",") if args.workloads
+                 else list(repro.ALL_WORKLOADS))
+    report = run_matrix(
+        designs=designs, workloads=workloads, config=cfg,
+        cache=_cache_from_args(args), jobs=args.jobs,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    grid = report.results()
+    complete = [w for w in workloads
+                if "B" in grid.get(w, {})
+                and all(d in grid[w] for d in designs)]
+
+    for metric, fn in (
+        ("speedup", lambda r, b: r.speedup_over(b)),
+        ("energy", lambda r, b: r.energy_ratio_over(b)),
+        ("hops", lambda r, b: r.hops_ratio_over(b)),
+    ):
+        print(f"\n{metric} over B:")
+        print(f"{'workload':9}" + "".join(f"{d:>7}" for d in designs))
+        for w in complete:
+            base = grid[w]["B"]
+            print(f"{w:9}" + "".join(
+                f"{fn(grid[w][d], base):7.2f}" for d in designs
+            ))
+    if complete:
+        gm = _geomean_table(grid, designs, complete)
+        print("\ngeomean over B:")
+        for metric in ("speedup", "energy", "hops"):
+            print(f"  {metric:8}" + " ".join(
+                f"{d}:{v:5.2f}" for d, v in gm[metric].items()
+            ))
+    else:
+        gm = {"speedup": {}, "energy": {}, "hops": {}}
+    print()
+    print(report.summary())
+    for o in report.failures:
+        print(f"FAILED {o.point.label}: "
+              f"{o.error.strip().splitlines()[-1]}", file=sys.stderr)
+
+    payload = {
+        "meta": {
+            "simulator_version": SIMULATOR_VERSION,
+            "designs": designs,
+            "workloads": workloads,
+            "elapsed_s": report.elapsed_s,
+            "cache": dataclasses.asdict(report.cache.stats)
+            if report.cache else None,
+        },
+        "points": [
+            dict(export.result_row(o.result),
+                 source=o.source, key=o.key, elapsed_s=o.elapsed_s)
+            for o in report.outcomes if o.ok
+        ],
+        "failures": [
+            {"label": o.point.label, "error": o.error}
+            for o in report.failures
+        ],
+        "geomean_over_B": gm,
+    }
+    with open(args.output, "w") as fh:
+        _json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+    _export(args, [o.result for o in report.outcomes if o.ok])
+    return 1 if report.failures else 0
+
+
 def cmd_sweep(args) -> int:
+    if args.parameter is None:
+        return cmd_sweep_matrix(args)
     field, values = _SWEEPS[args.parameter]
     workload = repro.make_workload(args.workload)
+    cache = _cache_from_args(args)
     results = []
     for v in values:
         cfg = experiment_config()
@@ -158,7 +282,8 @@ def cmd_sweep(args) -> int:
         else:
             cfg = cfg.with_(cache=dataclasses.replace(
                 cfg.cache, **{field: v}))
-        r = repro.simulate(args.design, workload, cfg.validate())
+        r = cached_simulate(args.design, workload, cfg.validate(),
+                            cache=cache)
         results.append(r)
         print(f"{args.parameter}={v:<8} makespan={r.makespan_cycles:12,.0f} "
               f"hops={r.inter_hops:10,} hit={r.cache.hit_rate:.0%}",
@@ -184,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--bypass", type=float, help="bypass probability")
         p.add_argument("--csv", help="export results to a CSV file")
         p.add_argument("--json", help="export results to a JSON file")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+        p.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes for grid runs "
+                            "(default: all cores)")
         if workload:
             p.add_argument("-w", "--workload", default="pr",
                            choices=sorted(repro.WORKLOAD_FACTORIES))
@@ -206,8 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="all designs x all workloads"),
                workload=False)
 
-    p_sweep = sub.add_parser("sweep", help="a Section 7.2 parameter sweep")
-    p_sweep.add_argument("parameter", choices=sorted(_SWEEPS))
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="the full design x workload matrix (no argument; parallel, "
+             "cached, emits sweep_results.json) or a Section 7.2 "
+             "parameter sweep",
+    )
+    p_sweep.add_argument("parameter", nargs="?", default=None,
+                         choices=sorted(_SWEEPS))
+    p_sweep.add_argument("--designs",
+                         help="comma-separated design subset (matrix mode)")
+    p_sweep.add_argument("--workloads",
+                         help="comma-separated workload subset (matrix mode)")
+    p_sweep.add_argument("--output", default="sweep_results.json",
+                         help="machine-readable matrix output path")
     add_common(p_sweep, design=True)
 
     return parser

@@ -360,6 +360,24 @@ class SystemConfig:
         """Return a copy with top-level sections replaced."""
         return replace(self, **kwargs)
 
+    def canonical_dict(self) -> dict:
+        """Deterministic plain-data form of the full configuration.
+
+        Every field is reduced to JSON scalars (enums by value, nested
+        sections as dicts in declaration order), so two equal configs
+        always serialize identically — this is the stable form the
+        sweep engine hashes into run keys (see ``repro.sweep.keys``).
+        """
+        return _canonical_value(self)
+
+    def canonical_json(self) -> str:
+        """Compact sorted-key JSON of :meth:`canonical_dict`."""
+        import json
+
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
     def scaled(self, mesh_rows: int, mesh_cols: int) -> "SystemConfig":
         """Return a copy with a different mesh size (Figure 10)."""
         return replace(
@@ -367,6 +385,20 @@ class SystemConfig:
                 self.topology, mesh_rows=mesh_rows, mesh_cols=mesh_cols
             )
         )
+
+
+def _canonical_value(value):
+    """Reduce a config field to deterministic plain data (recursive)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return value
 
 
 def default_config(**overrides) -> SystemConfig:

@@ -15,8 +15,9 @@ units were hot in which phase?) that aggregate counters cannot answer.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -42,14 +43,16 @@ class TaskTraceRecorder:
     def __init__(self, capacity: Optional[int] = None):
         """``capacity`` bounds memory for long runs (oldest dropped)."""
         self.capacity = capacity
-        self._records: List[TaskRecord] = []
+        # A deque evicts the oldest record in O(1); the previous list
+        # backing store paid O(n) per eviction (list.pop(0)), which
+        # made bounded recorders quadratic over long runs.
+        self._records: Deque[TaskRecord] = deque(maxlen=capacity)
         self.dropped = 0
 
     # ------------------------------------------------------------------
     def record(self, record: TaskRecord) -> None:
         if self.capacity is not None and len(self._records) >= self.capacity:
-            self._records.pop(0)
-            self.dropped += 1
+            self.dropped += 1  # the append below evicts the oldest
         self._records.append(record)
 
     def __len__(self) -> int:

@@ -66,18 +66,33 @@ def compare_designs(
     designs: Sequence[str],
     workload: WorkloadLike,
     config: Optional[SystemConfig] = None,
+    cache: object = "default",
     **workload_kwargs,
 ) -> Dict[str, RunResult]:
-    """Run the same workload (same dataset) across several designs."""
+    """Run the same workload (same dataset) across several designs.
+
+    Each (design, workload, config) point routes through the on-disk
+    result cache (``repro.sweep``): previously simulated points load
+    from ``.repro_cache/`` instead of re-running.  Simulations are
+    deterministic, so a hit is bit-identical to a live run.  Pass
+    ``cache=False`` (or set ``REPRO_NO_CACHE``) to force live runs.
+    """
+    from repro.sweep.runner import cached_simulate
+
     wl = _resolve_workload(workload, **workload_kwargs)
-    return {d: simulate(d, wl, config) for d in designs}
+    return {d: cached_simulate(d, wl, config, cache=cache) for d in designs}
 
 
-def sweep(
+def sweep_configs(
     design: str,
     workload: WorkloadLike,
     configs: Dict[str, SystemConfig],
 ) -> Dict[str, RunResult]:
-    """Run one design/workload across a dict of named configurations."""
+    """Run one design/workload across a dict of named configurations.
+
+    (Formerly exported as ``repro.sweep``; that name now hosts the
+    sweep-engine package, whose module object remains callable with
+    this signature for backwards compatibility.)
+    """
     wl = _resolve_workload(workload)
     return {name: simulate(design, wl, cfg) for name, cfg in configs.items()}

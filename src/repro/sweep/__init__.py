@@ -1,0 +1,87 @@
+"""repro.sweep — parallel sweep engine with a content-addressed cache.
+
+The subsystem behind ``python -m repro sweep`` and every batch runner
+in the repo (``scripts/matrix.py``, ``benchmarks/common.py``):
+
+* :mod:`repro.sweep.keys` — deterministic run keys (config + design +
+  workload + simulator version salt);
+* :mod:`repro.sweep.cache` — the on-disk JSON result store under
+  ``.repro_cache/`` with hit/miss/invalidation accounting;
+* :mod:`repro.sweep.serialize` — exact RunResult round-tripping;
+* :mod:`repro.sweep.runner` — cached single-point runs and the
+  multiprocessing grid runner with per-point failure capture.
+
+See ``docs/experiments.md`` for the end-to-end workflow.
+
+Backwards compatibility: before this package existed, ``repro.sweep``
+was a *function* running one design across named configurations.  The
+module object is callable and keeps that behaviour (now also available
+as :func:`repro.simulate.sweep_configs`)::
+
+    repro.sweep("B", workload, {"2x2": cfg_a, "4x4": cfg_b})
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+from repro.sweep.cache import (
+    CacheStats,
+    ResultCache,
+    default_cache,
+    resolve_cache,
+)
+from repro.sweep.keys import (
+    SIMULATOR_VERSION,
+    UncacheableError,
+    canonicalize,
+    run_key,
+    stable_hash,
+)
+from repro.sweep.runner import (
+    PointOutcome,
+    SweepPoint,
+    SweepReport,
+    SweepRunner,
+    cached_simulate,
+    matrix_points,
+    run_matrix,
+    run_point,
+)
+from repro.sweep.serialize import result_from_dict, result_to_dict
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "resolve_cache",
+    "SIMULATOR_VERSION",
+    "UncacheableError",
+    "canonicalize",
+    "run_key",
+    "stable_hash",
+    "PointOutcome",
+    "SweepPoint",
+    "SweepReport",
+    "SweepRunner",
+    "cached_simulate",
+    "matrix_points",
+    "run_matrix",
+    "run_point",
+    "result_from_dict",
+    "result_to_dict",
+]
+
+
+class _CallableSweepModule(types.ModuleType):
+    """Keeps the legacy ``repro.sweep(design, workload, configs)`` call
+    working now that ``repro.sweep`` names this package."""
+
+    def __call__(self, design, workload, configs):
+        from repro.simulate import sweep_configs
+
+        return sweep_configs(design, workload, configs)
+
+
+sys.modules[__name__].__class__ = _CallableSweepModule

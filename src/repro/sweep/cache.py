@@ -1,0 +1,205 @@
+"""On-disk, content-addressed result cache.
+
+One JSON file per run, stored under ``.repro_cache/<key[:2]>/<key>.json``
+(the two-character fan-out keeps directories small on full-matrix
+sweeps).  The cache is *safe by construction*:
+
+* keys are content hashes over config + design + workload + simulator
+  version (:mod:`repro.sweep.keys`), so a hit can only ever return the
+  exact result the simulation would produce;
+* a corrupted / truncated / stale-schema file counts as a miss (and is
+  deleted) — the point is re-simulated live;
+* every filesystem error is swallowed and accounted, never raised: a
+  broken disk degrades to "no cache", not to a failed sweep.
+
+Environment overrides:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``.repro_cache`` in the
+  working directory);
+* ``REPRO_NO_CACHE`` — any non-empty value disables reads and writes
+  (the programmatic/CLI equivalent is ``cache=False`` / ``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.analysis.metrics import RunResult
+from repro.sweep.serialize import result_from_dict, result_to_dict
+
+#: default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0      # unreadable entries invalidated (then re-run)
+    uncacheable: int = 0  # points whose key could not be computed
+    io_errors: int = 0    # swallowed filesystem failures
+
+    def summary(self) -> str:
+        parts = [f"{self.hits} hits", f"{self.misses} misses"]
+        if self.stores:
+            parts.append(f"{self.stores} stored")
+        if self.corrupt:
+            parts.append(f"{self.corrupt} corrupt invalidated")
+        if self.uncacheable:
+            parts.append(f"{self.uncacheable} uncacheable")
+        if self.io_errors:
+            parts.append(f"{self.io_errors} io errors")
+        return ", ".join(parts)
+
+
+class ResultCache:
+    """JSON-per-run result store addressed by run key."""
+
+    #: bump when the stored file layout changes; older entries then
+    #: read as corrupt and are transparently re-run.
+    SCHEMA = 1
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        enabled: bool = True,
+    ):
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _active(self) -> bool:
+        return self.enabled and not os.environ.get(ENV_NO_CACHE)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[RunResult]:
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Corrupt entries (bad JSON, wrong schema, missing fields) are
+        deleted and reported as a miss so the caller re-simulates.
+        """
+        if not self._active():
+            return None
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != self.SCHEMA:
+                raise ValueError("cache schema mismatch")
+            result = result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                self.stats.io_errors += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(
+        self,
+        key: str,
+        result: RunResult,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist one result (atomic write; failures are swallowed)."""
+        if not self._active():
+            return
+        payload = {
+            "schema": self.SCHEMA,
+            "key": key,
+            "meta": dict(meta or {}, created_unix=time.time()),
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            self.stats.stores += 1
+        except OSError:
+            self.stats.io_errors += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                self.stats.io_errors += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+# ----------------------------------------------------------------------
+# shared default instance (one per resolved root, so stats aggregate)
+# ----------------------------------------------------------------------
+_DEFAULT_CACHES: Dict[Path, ResultCache] = {}
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache at the current default root.
+
+    Honours ``REPRO_CACHE_DIR`` at call time; one instance per root so
+    hit/miss accounting aggregates across callers.
+    """
+    root = Path(
+        os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+    ).absolute()
+    cache = _DEFAULT_CACHES.get(root)
+    if cache is None:
+        cache = _DEFAULT_CACHES[root] = ResultCache(root=root)
+    return cache
+
+
+def resolve_cache(
+    cache: Union[ResultCache, bool, str, None]
+) -> Optional[ResultCache]:
+    """Normalize the ``cache=`` argument accepted across the API.
+
+    ``"default"``/``True``/``None`` -> the shared default cache;
+    ``False`` -> no caching; a :class:`ResultCache` -> itself.
+    """
+    if cache is False:
+        return None
+    if cache is None or cache is True or cache == "default":
+        return default_cache()
+    return cache

@@ -1,0 +1,403 @@
+"""The sweep engine: cached single points and parallel grids.
+
+Three layers, each usable on its own:
+
+* :func:`cached_simulate` — drop-in replacement for
+  :func:`repro.simulate.simulate` that consults the on-disk result
+  cache first (and feeds it after a live run).
+* :func:`run_point` — the same, wrapped in a
+  :class:`PointOutcome` that captures failures instead of raising.
+* :class:`SweepRunner` / :func:`run_matrix` — fan a list of
+  :class:`SweepPoint`\\ s out over ``multiprocessing`` workers, with
+  per-point progress lines, per-point failure capture and a single
+  retry (one crashed point never kills the sweep), and results that
+  are bit-identical to the serial path (every simulation is seeded and
+  independent).
+
+Workers re-materialize workloads from their factory spec when
+available (cheap, deterministic) and receive pickled instances
+otherwise; results travel back as the JSON dicts of
+:mod:`repro.sweep.serialize`, the exact representation the cache
+stores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import RunResult
+from repro.config import SystemConfig, experiment_config
+from repro.sweep.cache import ResultCache, resolve_cache
+from repro.sweep.keys import UncacheableError, run_key
+from repro.sweep.serialize import result_from_dict, result_to_dict
+from repro.workloads.base import Workload, make_workload
+
+ProgressFn = Callable[[str], None]
+CacheLike = Union[ResultCache, bool, str, None]
+
+
+def _live_simulate(design: str, workload, config) -> RunResult:
+    """The uncached simulation call (module-level so tests can stub it
+    with a counting fake and workers can resolve it after a fork)."""
+    from repro.simulate import simulate
+
+    return simulate(design, workload, config)
+
+
+def _point_key(
+    design: str, workload, config: SystemConfig,
+    cache: Optional[ResultCache],
+) -> Optional[str]:
+    """Run key for one point, or None when uncacheable."""
+    if cache is None:
+        return None
+    try:
+        return run_key(design, workload, config)
+    except UncacheableError:
+        cache.stats.uncacheable += 1
+        return None
+
+
+def cached_simulate(
+    design: str,
+    workload: Union[str, Workload],
+    config: Optional[SystemConfig] = None,
+    cache: CacheLike = "default",
+    **workload_kwargs,
+) -> RunResult:
+    """Simulate one point through the result cache.
+
+    Same contract as :func:`repro.simulate.simulate`; on a cache hit
+    the stored result is returned without building a machine.  Pass
+    ``cache=False`` (or set ``REPRO_NO_CACHE``) to force a live run.
+    """
+    if config is None:
+        config = experiment_config()
+    if workload_kwargs and isinstance(workload, str):
+        workload = make_workload(workload, **workload_kwargs)
+    store = resolve_cache(cache)
+    key = _point_key(design, workload, config, store)
+    if key is not None:
+        hit = store.load(key)
+        if hit is not None:
+            return hit
+    result = _live_simulate(design, workload, config)
+    if key is not None:
+        store.store(key, result, meta={
+            "design": design,
+            "workload": getattr(workload, "name", str(workload)),
+        })
+    return result
+
+
+# ----------------------------------------------------------------------
+# sweep points and outcomes
+# ----------------------------------------------------------------------
+@dataclass
+class SweepPoint:
+    """One (design, workload, config) cell of a sweep grid."""
+
+    design: str
+    workload: Union[str, Workload]
+    config: Optional[SystemConfig] = None
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            name = (
+                self.workload if isinstance(self.workload, str)
+                else getattr(self.workload, "name", type(self.workload).__name__)
+            )
+            self.label = f"{self.design}/{name}"
+
+    def resolved_config(self) -> SystemConfig:
+        return self.config if self.config is not None else experiment_config()
+
+    def materialize(self) -> Workload:
+        if isinstance(self.workload, str):
+            return make_workload(self.workload, **self.workload_kwargs)
+        return self.workload
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one sweep point."""
+
+    point: SweepPoint
+    result: Optional[RunResult] = None
+    #: "cache" | "run" | "retry" | "failed"
+    source: str = "run"
+    key: Optional[str] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, in input-point order."""
+
+    outcomes: List[PointOutcome]
+    elapsed_s: float = 0.0
+    cache: Optional[ResultCache] = None
+
+    @property
+    def failures(self) -> List[PointOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def results(self) -> Dict[str, Dict[str, RunResult]]:
+        """Successful results as ``{workload: {design: RunResult}}``."""
+        grid: Dict[str, Dict[str, RunResult]] = {}
+        for o in self.outcomes:
+            if o.ok:
+                grid.setdefault(o.result.workload, {})[o.result.design] = o.result
+        return grid
+
+    def summary(self) -> str:
+        hit = sum(1 for o in self.outcomes if o.source == "cache")
+        ran = sum(1 for o in self.outcomes if o.source in ("run", "retry"))
+        line = (
+            f"{len(self.outcomes)} points in {self.elapsed_s:.1f}s "
+            f"({hit} cached, {ran} simulated, {len(self.failures)} failed)"
+        )
+        if self.cache is not None:
+            line += f"; cache: {self.cache.stats.summary()}"
+        return line
+
+
+# ----------------------------------------------------------------------
+# the parallel worker (module-level: must be picklable by Pool)
+# ----------------------------------------------------------------------
+def _worker(payload: Tuple) -> Tuple[int, Optional[Dict], Optional[str], float]:
+    """Simulate one point in a worker process.
+
+    Returns ``(index, result_dict, error_traceback, elapsed_s)`` —
+    exactly one of result/error is set.  Never raises: a crashing
+    point is reported, not fatal.
+    """
+    idx, design, wl_spec, config = payload
+    t0 = time.time()
+    try:
+        if wl_spec[0] == "factory":
+            workload = make_workload(wl_spec[1], **wl_spec[2])
+        else:
+            workload = wl_spec[1]
+        result = _live_simulate(design, workload, config)
+        return idx, result_to_dict(result), None, time.time() - t0
+    except BaseException:
+        return idx, None, traceback.format_exc(), time.time() - t0
+
+
+def _worker_payload(idx: int, point: SweepPoint) -> Tuple:
+    if isinstance(point.workload, str):
+        spec = ("factory", point.workload, dict(point.workload_kwargs))
+    else:
+        spec = ("object", point.workload)
+    return (idx, point.design, spec, point.resolved_config())
+
+
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Fans a grid of sweep points out over processes, through the cache.
+
+    ``jobs=None`` uses every core (bounded by the number of pending
+    points); ``jobs=1`` (or a single pending point) runs serially in
+    this process.  Cache hits are resolved up front in the parent, so
+    workers only ever see genuine misses.  Each failed point is retried
+    once, serially in the parent (where its traceback is easiest to
+    read); a point that fails twice is recorded in the report and the
+    sweep continues.
+    """
+
+    def __init__(
+        self,
+        cache: CacheLike = "default",
+        jobs: Optional[int] = None,
+        retries: int = 1,
+        progress: Optional[ProgressFn] = None,
+    ):
+        self.cache = resolve_cache(cache)
+        self.jobs = jobs
+        self.retries = retries
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def _say(self, msg: str) -> None:
+        if self.progress is not None:
+            self.progress(msg)
+
+    def _run_serial_once(self, point: SweepPoint) -> RunResult:
+        return _live_simulate(
+            point.design, point.materialize(), point.resolved_config()
+        )
+
+    def _retry(self, outcome: PointOutcome, done: int, total: int) -> None:
+        """One serial retry for a point that crashed."""
+        for _ in range(self.retries):
+            t0 = time.time()
+            try:
+                outcome.result = self._run_serial_once(outcome.point)
+                outcome.source = "retry"
+                outcome.error = None
+                outcome.elapsed_s = time.time() - t0
+                self._say(
+                    f"[{done}/{total}] {outcome.point.label:16} "
+                    f"retried ok ({outcome.elapsed_s:.1f}s)"
+                )
+                return
+            except BaseException:
+                outcome.error = traceback.format_exc()
+        outcome.source = "failed"
+        self._say(
+            f"[{done}/{total}] {outcome.point.label:16} "
+            f"FAILED after retry: {outcome.error.strip().splitlines()[-1]}"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[SweepPoint]) -> SweepReport:
+        t_start = time.time()
+        points = list(points)
+        total = len(points)
+        outcomes = [PointOutcome(point=p) for p in points]
+
+        # 1. resolve cache hits in the parent
+        pending: List[int] = []
+        done = 0
+        for i, (point, outcome) in enumerate(zip(points, outcomes)):
+            outcome.key = _point_key(
+                point.design, point.workload, point.resolved_config(),
+                self.cache,
+            )
+            hit = self.cache.load(outcome.key) if outcome.key else None
+            if hit is not None:
+                outcome.result = hit
+                outcome.source = "cache"
+                done += 1
+                self._say(f"[{done}/{total}] {point.label:16} cached")
+            else:
+                pending.append(i)
+
+        # 2. simulate the misses (parallel when it pays)
+        jobs = self.jobs if self.jobs is not None else os.cpu_count() or 1
+        jobs = max(1, min(jobs, len(pending)))
+        if jobs <= 1:
+            for i in pending:
+                outcome = outcomes[i]
+                t0 = time.time()
+                try:
+                    outcome.result = self._run_serial_once(points[i])
+                    outcome.source = "run"
+                    outcome.elapsed_s = time.time() - t0
+                    done += 1
+                    self._say(
+                        f"[{done}/{total}] {points[i].label:16} "
+                        f"ran {outcome.elapsed_s:.1f}s"
+                    )
+                except BaseException:
+                    outcome.error = traceback.format_exc()
+                    done += 1
+                    self._say(
+                        f"[{done}/{total}] {points[i].label:16} crashed, "
+                        f"retrying"
+                    )
+                    self._retry(outcome, done, total)
+        elif pending:
+            payloads = [_worker_payload(i, points[i]) for i in pending]
+            failed: List[int] = []
+            with multiprocessing.Pool(processes=jobs) as pool:
+                for idx, rdict, err, dt in pool.imap_unordered(
+                    _worker, payloads
+                ):
+                    outcome = outcomes[idx]
+                    outcome.elapsed_s = dt
+                    done += 1
+                    if rdict is not None:
+                        outcome.result = result_from_dict(rdict)
+                        outcome.source = "run"
+                        self._say(
+                            f"[{done}/{total}] {points[idx].label:16} "
+                            f"ran {dt:.1f}s"
+                        )
+                    else:
+                        outcome.error = err
+                        failed.append(idx)
+                        self._say(
+                            f"[{done}/{total}] {points[idx].label:16} "
+                            f"crashed, will retry"
+                        )
+            for idx in failed:
+                self._retry(outcomes[idx], done, total)
+
+        # 3. feed the cache
+        if self.cache is not None:
+            for outcome in outcomes:
+                if outcome.ok and outcome.key and outcome.source != "cache":
+                    self.cache.store(
+                        outcome.key, outcome.result,
+                        meta={
+                            "design": outcome.point.design,
+                            "workload": outcome.result.workload,
+                        },
+                    )
+
+        return SweepReport(
+            outcomes=outcomes,
+            elapsed_s=time.time() - t_start,
+            cache=self.cache,
+        )
+
+
+# ----------------------------------------------------------------------
+def run_point(
+    design: str,
+    workload: Union[str, Workload],
+    config: Optional[SystemConfig] = None,
+    cache: CacheLike = "default",
+    **workload_kwargs,
+) -> PointOutcome:
+    """One point through the cache, with failure capture."""
+    point = SweepPoint(
+        design=design, workload=workload, config=config,
+        workload_kwargs=workload_kwargs,
+    )
+    runner = SweepRunner(cache=cache, jobs=1)
+    return runner.run([point]).outcomes[0]
+
+
+def matrix_points(
+    designs: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+) -> List[SweepPoint]:
+    """The full (design x workload) grid of the paper's Figures 6-8."""
+    from repro.simulate import ALL_DESIGNS, ALL_WORKLOADS
+
+    designs = list(designs or ALL_DESIGNS)
+    workloads = list(workloads or ALL_WORKLOADS)
+    return [
+        SweepPoint(design=d, workload=w, config=config)
+        for w in workloads
+        for d in designs
+    ]
+
+
+def run_matrix(
+    designs: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    cache: CacheLike = "default",
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Run the full design/workload matrix, parallel and cached."""
+    runner = SweepRunner(cache=cache, jobs=jobs, progress=progress)
+    return runner.run(matrix_points(designs, workloads, config))

@@ -1,0 +1,80 @@
+"""Lossless RunResult <-> JSON round-trip for the result cache.
+
+Unlike :mod:`repro.analysis.export` (which flattens results into
+analysis-friendly rows), this module preserves *every* field of a
+:class:`~repro.analysis.metrics.RunResult` exactly, so a cache hit is
+indistinguishable from a live run.  Python's ``json`` serializes floats
+with shortest-round-trip ``repr``, so the reconstruction is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.analysis.metrics import RunResult
+from repro.arch.dram import DramStats
+from repro.arch.energy import EnergyBreakdown
+from repro.arch.noc import TrafficMeter
+from repro.arch.sram import SramStats
+from repro.core.cache.traveller import CacheStatsTotal
+
+#: RunResult component fields that are flat stats dataclasses.
+_COMPONENTS = {
+    "traffic": TrafficMeter,
+    "dram": DramStats,
+    "sram": SramStats,
+    "cache": CacheStatsTotal,
+    "energy": EnergyBreakdown,
+}
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten one run into a JSON-able dict (exact, reversible)."""
+    cycles = np.asarray(result.active_cycles_per_core)
+    out: Dict[str, Any] = {
+        "design": result.design,
+        "workload": result.workload,
+        "makespan_cycles": float(result.makespan_cycles),
+        "active_cycles_per_core": {
+            "dtype": cycles.dtype.str,
+            "data": cycles.tolist(),
+        },
+        "tasks_executed": int(result.tasks_executed),
+        "timestamps_executed": int(result.timestamps_executed),
+        "steals": int(result.steals),
+        "instructions": float(result.instructions),
+        "extra": {str(k): float(v) for k, v in result.extra.items()},
+    }
+    for name in _COMPONENTS:
+        out[name] = dataclasses.asdict(getattr(result, name))
+    return out
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` written by :func:`result_to_dict`.
+
+    Raises ``KeyError``/``TypeError`` on malformed input; the cache
+    treats those as a corrupt entry and falls back to a live run.
+    """
+    cycles = data["active_cycles_per_core"]
+    components = {
+        name: cls(**data[name]) for name, cls in _COMPONENTS.items()
+    }
+    return RunResult(
+        design=data["design"],
+        workload=data["workload"],
+        makespan_cycles=data["makespan_cycles"],
+        active_cycles_per_core=np.asarray(
+            cycles["data"], dtype=np.dtype(cycles["dtype"])
+        ),
+        tasks_executed=data["tasks_executed"],
+        timestamps_executed=data["timestamps_executed"],
+        steals=data["steals"],
+        instructions=data["instructions"],
+        extra=dict(data.get("extra", {})),
+        **components,
+    )

@@ -85,9 +85,17 @@ def register_workload(name: str):
 
 
 def make_workload(name: str, **kwargs) -> Workload:
-    """Instantiate a registered workload by its figure name."""
+    """Instantiate a registered workload by its figure name.
+
+    The (name, kwargs) spec is recorded on the instance so the sweep
+    engine can derive its content-addressed run key from the spec alone
+    (cheap and identical for equal calls) instead of hashing the
+    generated dataset — see ``repro.sweep.keys.workload_token``.
+    """
     if name not in WORKLOAD_FACTORIES:
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(WORKLOAD_FACTORIES)}"
         )
-    return WORKLOAD_FACTORIES[name](**kwargs)
+    workload = WORKLOAD_FACTORIES[name](**kwargs)
+    workload._factory_spec = (name, dict(kwargs))
+    return workload
