@@ -12,7 +12,7 @@ A :class:`RunResult` bundles every quantity the paper's figures read:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from repro.arch.energy import EnergyBreakdown
 from repro.arch.noc import TrafficMeter
 from repro.arch.sram import SramStats
 from repro.core.cache.traveller import CacheStatsTotal
+
+if TYPE_CHECKING:  # import cycle: telemetry is run-time independent
+    from repro.telemetry import TelemetrySummary
 
 
 @dataclass
@@ -41,6 +44,9 @@ class RunResult:
     steals: int = 0
     instructions: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Populated only when the run was instrumented (see
+    #: :mod:`repro.telemetry`); excluded from sweep-cache JSON.
+    telemetry: Optional["TelemetrySummary"] = None
 
     # ------------------------------------------------------------------
     # derived metrics

@@ -175,6 +175,60 @@ def box_plot(
     return "\n".join(lines)
 
 
+def heatmap(
+    title: str,
+    matrix,
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+    fmt: str = "{:.3g}",
+) -> str:
+    """A 2-D intensity map on shaded character cells.
+
+    Renders e.g. the NoC link-traffic matrix (rows = source stacks,
+    columns = destinations) the telemetry subsystem collects: cell
+    shade is the value relative to the matrix maximum, with the scale
+    printed underneath.  ``row_labels``/``col_labels`` default to
+    indices.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError("heatmap needs a non-empty 2-D matrix")
+    rows, cols = arr.shape
+    row_labels = list(row_labels) if row_labels is not None else [
+        str(i) for i in range(rows)
+    ]
+    col_labels = list(col_labels) if col_labels is not None else [
+        str(j) for j in range(cols)
+    ]
+    if len(row_labels) != rows or len(col_labels) != cols:
+        raise ValueError("label lengths must match the matrix shape")
+    vmax = float(arr.max())
+    shades = " ░▒▓█"
+    label_w = max(len(s) for s in row_labels)
+    cell_w = max(2, max(len(s) for s in col_labels))
+
+    def cell(v: float) -> str:
+        if vmax <= 0:
+            return shades[0] * cell_w
+        idx = int(np.ceil(v / vmax * (len(shades) - 1)))
+        return shades[min(idx, len(shades) - 1)] * cell_w
+
+    lines = [title]
+    lines.append(
+        " " * (label_w + 3)
+        + " ".join(s.rjust(cell_w) for s in col_labels)
+    )
+    for i in range(rows):
+        lines.append(
+            f"  {row_labels[i].rjust(label_w)} "
+            + " ".join(cell(arr[i, j]) for j in range(cols))
+        )
+    lines.append(
+        f"  scale: ' '=0 .. '█'={fmt.format(vmax)}"
+    )
+    return "\n".join(lines)
+
+
 def sparkline(values: Sequence[float]) -> str:
     """A one-line trend of values (eight-level blocks)."""
     arr = np.asarray(values, dtype=np.float64)

@@ -14,7 +14,8 @@ the same metric.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +59,90 @@ class TrafficMeter:
         self.messages = 0
 
 
+class LinkMeter:
+    """Per-link traffic attribution for the telemetry heatmaps.
+
+    Two granularities accumulate on every metered message:
+
+    * ``unit_matrix`` / ``unit_bits`` — an (N, N) matrix of message
+      counts / payload bits per (source unit, destination unit) pair:
+      the all-to-all heatmap behind ``analysis.plotting.heatmap``;
+    * ``link_flits`` — flit counts per *directed physical mesh link*,
+      attributing each inter-stack message to the links its dimension-
+      ordered (XY: columns first, then rows) route traverses.  This is
+      the per-link congestion view the aggregate hop counter cannot
+      give: two meshes with identical total hops can differ wildly in
+      their hottest link.
+
+    The meter is optional and attached by
+    :meth:`Interconnect.enable_link_metering`; without it the traffic
+    hot path pays a single ``is None`` test.
+    """
+
+    #: one flit carries a control message; a cacheline is several.
+    FLIT_BITS = 128
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        n = topology.num_units
+        self.unit_matrix = np.zeros((n, n), dtype=np.int64)
+        self.unit_bits = np.zeros((n, n), dtype=np.int64)
+        #: (src_stack, dst_stack) adjacent pair -> flits carried.
+        self.link_flits: Dict[Tuple[int, int], int] = {}
+        # (row, col) -> stack id, for walking XY routes.
+        self._stack_at = {
+            topology.stack_coords(s): s
+            for s in range(topology.num_stacks)
+        }
+
+    # ------------------------------------------------------------------
+    def record(self, src: int, dst: int, bits: int) -> None:
+        self.unit_matrix[src, dst] += 1
+        self.unit_bits[src, dst] += bits
+        topo = self.topology
+        s_src, s_dst = topo.stack_of(src), topo.stack_of(dst)
+        if s_src == s_dst:
+            return
+        flits = max(1, -(-bits // self.FLIT_BITS))  # ceil division
+        r, c = topo.stack_coords(s_src)
+        r_dst, c_dst = topo.stack_coords(s_dst)
+        here = s_src
+        while (r, c) != (r_dst, c_dst):
+            if c != c_dst:
+                c += 1 if c_dst > c else -1
+            else:
+                r += 1 if r_dst > r else -1
+            nxt = self._stack_at[(r, c)]
+            key = (here, nxt)
+            self.link_flits[key] = self.link_flits.get(key, 0) + flits
+            here = nxt
+
+    # ------------------------------------------------------------------
+    def stack_matrix(self) -> np.ndarray:
+        """(num_stacks, num_stacks) flit counts over the metered links.
+
+        Only adjacent pairs are non-zero — the matrix is a rendering-
+        friendly view of :attr:`link_flits`.
+        """
+        m = np.zeros(
+            (self.topology.num_stacks, self.topology.num_stacks),
+            dtype=np.int64,
+        )
+        for (a, b), flits in self.link_flits.items():
+            m[a, b] = flits
+        return m
+
+    def hottest_links(self, top: int = 8) -> List[Tuple[int, int, int]]:
+        """The ``top`` busiest directed mesh links as (src, dst, flits)."""
+        ranked = sorted(
+            self.link_flits.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return [(a, b, flits) for (a, b), flits in ranked[:top]]
+
+    def total_link_flits(self) -> int:
+        return sum(self.link_flits.values())
+
+
 class Interconnect:
     """Latency/energy/cost model of the two-level memory network."""
 
@@ -66,6 +151,8 @@ class Interconnect:
         self.noc = noc
         self.memory = memory
         self._cost = self._build_cost_matrix()
+        #: per-link meter, attached only when telemetry wants it.
+        self.link_meter: Optional[LinkMeter] = None
 
     def _build_cost_matrix(self) -> np.ndarray:
         """(N, N) scheduling distance costs (Equation 2 terms)."""
@@ -84,6 +171,12 @@ class Interconnect:
         v = self._cost.view()
         v.flags.writeable = False
         return v
+
+    def enable_link_metering(self) -> LinkMeter:
+        """Attach (or return the existing) per-link traffic meter."""
+        if self.link_meter is None:
+            self.link_meter = LinkMeter(self.topology)
+        return self.link_meter
 
     # ------------------------------------------------------------------
     # classification
@@ -134,6 +227,8 @@ class Interconnect:
         if bits is None:
             bits = self.memory.line_bits
         meter.messages += 1
+        if self.link_meter is not None:
+            self.link_meter.record(src, dst, bits)
         if src == dst:
             meter.local_accesses += 1
             return

@@ -3,6 +3,8 @@
     python -m repro describe                 # print the Table 1 machine
     python -m repro designs                  # print the Table 2 matrix
     python -m repro run -d O -w pr           # one simulation
+    python -m repro trace O pr --out t.json  # instrumented run -> Chrome
+                                             # trace (Perfetto-loadable)
     python -m repro compare -w knn           # all designs on one workload
     python -m repro matrix                   # the full Figure 6/7/8 matrix
     python -m repro sweep                    # the same matrix, parallel +
@@ -61,6 +63,29 @@ def _cache_from_args(args):
     return False if getattr(args, "no_cache", False) else "default"
 
 
+def _telemetry_from_args(args):
+    """A live Telemetry when any tracing flag was given, else None."""
+    trace_out = getattr(args, "trace_out", None)
+    interval = getattr(args, "sample_interval", None)
+    if trace_out is None and interval is None:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(sample_interval=interval if interval else 1)
+
+
+def _write_trace(telemetry, out: Optional[str],
+                 jsonl: Optional[str] = None) -> None:
+    tl = telemetry.timeline
+    if out:
+        tl.write_chrome(out)
+        print(f"wrote {out} ({len(tl)} events, {tl.dropped} dropped; "
+              f"open at chrome://tracing or https://ui.perfetto.dev)")
+    if jsonl:
+        tl.write_jsonl(jsonl)
+        print(f"wrote {jsonl}")
+
+
 def _export(args, results: List[RunResult]) -> None:
     if getattr(args, "csv", None):
         export.write_csv(args.csv, results)
@@ -88,6 +113,13 @@ def _print_comparison(results: Dict[str, RunResult]) -> None:
 # ----------------------------------------------------------------------
 def cmd_describe(args) -> int:
     print(describe_config(_config_from_args(args)))
+    tel = _telemetry_from_args(args)
+    if tel is None:
+        print("telemetry: disabled (null sink; enable with "
+              "`run --trace-out` / `--sample-interval`, or `repro trace`)")
+    else:
+        print(f"telemetry: enabled "
+              f"(sample interval = {tel.sampler.interval} timestamps)")
     return 0
 
 
@@ -100,18 +132,34 @@ def cmd_designs(args) -> int:
 
 def cmd_run(args) -> int:
     cfg = _config_from_args(args)
-    if args.verify:
+    telemetry = _telemetry_from_args(args)
+    if args.verify or telemetry is not None:
         # Verification re-runs the workload's reference algorithm
-        # against the just-computed answer, so it needs a live run.
+        # against the just-computed answer, and tracing needs the live
+        # telemetry object — both require a live run.
         result = repro.simulate(args.design, args.workload, cfg,
-                                verify=True)
+                                verify=args.verify, telemetry=telemetry)
     else:
         result = cached_simulate(args.design, args.workload, cfg,
                                  cache=_cache_from_args(args))
     print(result.summary())
     if args.verify:
         print("answer verified against the reference implementation")
+    if telemetry is not None:
+        _write_trace(telemetry, getattr(args, "trace_out", None))
     _export(args, [result])
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.telemetry import Telemetry
+
+    cfg = _config_from_args(args)
+    telemetry = Telemetry(sample_interval=args.sample_interval)
+    result = repro.simulate(args.design, args.workload, cfg,
+                            telemetry=telemetry)
+    print(result.summary())
+    _write_trace(telemetry, args.out, getattr(args, "jsonl", None))
     return 0
 
 
@@ -300,13 +348,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p, workload=True, design=False):
+    def add_config(p):
         p.add_argument("--mesh", help="stack mesh, e.g. 2x2 / 4x4 / 8x8")
         p.add_argument("--alpha", type=float, help="hybrid weight alpha")
         p.add_argument("--interval", type=int,
                        help="workload exchange interval (cycles)")
         p.add_argument("--camps", type=int, help="camp locations C")
         p.add_argument("--bypass", type=float, help="bypass probability")
+
+    def add_telemetry(p):
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write a Chrome trace_event JSON of the run "
+                            "(forces a live, instrumented simulation)")
+        p.add_argument("--sample-interval", type=int, default=None,
+                       metavar="N",
+                       help="timestamps between telemetry time-series "
+                            "samples (implies instrumentation)")
+
+    def add_common(p, workload=True, design=False):
+        add_config(p)
         p.add_argument("--csv", help="export results to a CSV file")
         p.add_argument("--json", help="export results to a JSON file")
         p.add_argument("--no-cache", action="store_true",
@@ -321,14 +381,33 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("-d", "--design", default="O",
                            choices=list(repro.ALL_DESIGNS))
 
-    add_common(sub.add_parser("describe", help="print the configuration"),
-               workload=False)
+    p_describe = sub.add_parser("describe", help="print the configuration")
+    add_common(p_describe, workload=False)
+    add_telemetry(p_describe)
     sub.add_parser("designs", help="print the Table 2 design matrix")
 
     p_run = sub.add_parser("run", help="simulate one design/workload")
     add_common(p_run, design=True)
+    add_telemetry(p_run)
     p_run.add_argument("--verify", action="store_true",
                        help="check the computed answer")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="instrumented run exporting a Chrome/Perfetto timeline",
+    )
+    p_trace.add_argument("design", choices=list(repro.ALL_DESIGNS))
+    p_trace.add_argument("workload",
+                         choices=sorted(repro.WORKLOAD_FACTORIES))
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace_event JSON output path "
+                              "(default: trace.json)")
+    p_trace.add_argument("--jsonl", metavar="PATH",
+                         help="also write one-event-per-line JSONL")
+    p_trace.add_argument("--sample-interval", type=int, default=1,
+                         metavar="N",
+                         help="timestamps between time-series samples")
+    add_config(p_trace)
 
     add_common(sub.add_parser("compare",
                               help="all designs on one workload"))
@@ -359,6 +438,7 @@ _COMMANDS = {
     "describe": cmd_describe,
     "designs": cmd_designs,
     "run": cmd_run,
+    "trace": cmd_trace,
     "compare": cmd_compare,
     "matrix": cmd_matrix,
     "sweep": cmd_sweep,

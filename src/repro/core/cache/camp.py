@@ -98,6 +98,12 @@ class CampMapper:
     # ------------------------------------------------------------------
     # scalar interface
     # ------------------------------------------------------------------
+    @property
+    def memo_entries(self) -> int:
+        """Lines with memoized location tables (a telemetry gauge: the
+        working-set footprint the camp mapper has resolved so far)."""
+        return len(self._loc_cache)
+
     def home_unit(self, line: int) -> int:
         return self.memory_map.home_of_line(line)
 

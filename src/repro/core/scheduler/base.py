@@ -128,12 +128,34 @@ class Scheduler(abc.ABC):
     #: using the policy's own distance-aware cost estimates.
     uses_window_rescheduling: bool = False
 
+    #: short name stamped on telemetry decision records.
+    policy_name: str = "scheduler"
+
     def __init__(self, context: SchedulerContext):
         self.context = context
+        # Replaced with the machine's Telemetry by NdpSystem; the null
+        # sink keeps every decision probe a single attribute check.
+        from repro.telemetry import NULL_TELEMETRY
+
+        self.telemetry = NULL_TELEMETRY
 
     @abc.abstractmethod
     def choose_unit(self, task: Task) -> int:
         """Return the unit id that should execute ``task``."""
+
+    def _record_decision(self, task: Task, chosen: int,
+                         cost_mem: float = 0.0, cost_load: float = 0.0,
+                         score: float = 0.0) -> None:
+        """Emit one placement-decision telemetry record.
+
+        Call sites guard on ``self.telemetry.enabled`` so a disabled
+        machine pays nothing beyond that check.
+        """
+        self.telemetry.decision(
+            self.policy_name, task.task_id, task.spawner_unit, chosen,
+            cost_mem=cost_mem, cost_load=cost_load, score=score,
+            weight=self.context.hybrid_weight,
+        )
 
     def _fallback_unit(self, task: Task) -> int:
         """Where a hint-less task runs: where it was spawned."""

@@ -15,8 +15,14 @@ from repro.runtime.task import Task
 class ColocateScheduler(Scheduler):
     """Run the task at the home of its first hint address."""
 
+    policy_name = "colocate"
+
     def choose_unit(self, task: Task) -> int:
         if task.hint.num_addresses == 0:
-            return self._fallback_unit(task)
-        main_addr = int(task.hint.addresses[0])
-        return self.context.memory_map.home_unit(main_addr)
+            unit = self._fallback_unit(task)
+        else:
+            main_addr = int(task.hint.addresses[0])
+            unit = self.context.memory_map.home_unit(main_addr)
+        if self.telemetry.enabled:
+            self._record_decision(task, unit)
+        return unit

@@ -42,6 +42,8 @@ class HybridScheduler(Scheduler):
     data) and keeping the forwarding message short.
     """
 
+    policy_name = "hybrid"
+
     @property
     def uses_window_rescheduling(self):
         """The scheduling-window re-forwarding is part of the load-
@@ -96,8 +98,28 @@ class HybridScheduler(Scheduler):
         return mem + ctx.hybrid_weight * load
 
     def choose_unit(self, task: Task) -> int:
+        ctx = self.context
         if task.hint.num_addresses == 0:
             # No data preference: pure load balancing.
             load = self.load_cost_vector(task.spawner_unit)
-            return self._pick(load * self.context.hybrid_weight, task)
-        return self._pick(self.score_vector(task), task)
+            scores = load * ctx.hybrid_weight
+            unit = self._pick(scores, task)
+            if self.telemetry.enabled:
+                self._record_decision(
+                    task, unit, cost_load=float(load[unit]),
+                    score=float(scores[unit]),
+                )
+            return unit
+        if not self.telemetry.enabled:
+            return self._pick(self.score_vector(task), task)
+        # Telemetry path: keep the Equation 1 components apart so the
+        # decision record carries cost_mem and cost_load separately.
+        mem = ctx.mem_cost_vector(task, use_camps=self.use_camps)
+        load = self.load_cost_vector(task.spawner_unit)
+        scores = mem + ctx.hybrid_weight * load
+        unit = self._pick(scores, task)
+        self._record_decision(
+            task, unit, cost_mem=float(mem[unit]),
+            cost_load=float(load[unit]), score=float(scores[unit]),
+        )
+        return unit

@@ -34,13 +34,18 @@ from repro.runtime.task import Task
 class LowestDistanceScheduler(Scheduler):
     """argmin over data-hosting units of the mean home distance."""
 
+    policy_name = "lowest_distance"
+
     #: candidates within this distance of the best are considered tied.
     tie_tolerance_ns: float = 5.0
 
     def choose_unit(self, task: Task) -> int:
         ctx = self.context
         if task.hint.num_addresses == 0:
-            return self._fallback_unit(task)
+            unit = self._fallback_unit(task)
+            if self.telemetry.enabled:
+                self._record_decision(task, unit)
+            return unit
         lines = ctx.hint_lines(task)
         homes = ctx.memory_map.homes_of_lines(lines)
         candidates = np.unique(homes)
@@ -50,5 +55,12 @@ class LowestDistanceScheduler(Scheduler):
         tied = candidates[dists <= best_cost + self.tie_tolerance_ns]
         main_home = ctx.memory_map.home_unit(int(task.hint.addresses[0]))
         if main_home in tied:
-            return main_home
-        return int(candidates[int(np.argmin(dists))])
+            unit = main_home
+            cost = float(dists[np.nonzero(candidates == main_home)[0][0]])
+        else:
+            idx = int(np.argmin(dists))
+            unit = int(candidates[idx])
+            cost = float(dists[idx])
+        if self.telemetry.enabled:
+            self._record_decision(task, unit, cost_mem=cost, score=cost)
+        return unit

@@ -35,6 +35,8 @@ from repro.runtime.task import Task
 class WorkStealingScheduler(LowestDistanceScheduler):
     """Sm placement; the executor additionally runs the stealing pass."""
 
+    policy_name = "work_stealing"
+
     uses_work_stealing = True
 
 

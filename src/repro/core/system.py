@@ -36,6 +36,7 @@ from repro.core.scheduler.hybrid import HybridScheduler
 from repro.core.scheduler.lowest_distance import LowestDistanceScheduler
 from repro.core.scheduler.work_stealing import WorkStealingScheduler
 from repro.runtime.executor import BulkSyncExecutor, ExecutionTrace
+from repro.telemetry import Telemetry, resolve_telemetry
 
 
 @dataclass(frozen=True)
@@ -110,10 +111,16 @@ def _apply_design(config: SystemConfig, design: DesignPoint) -> SystemConfig:
 class NdpSystem:
     """A fully assembled simulated NDP machine."""
 
-    def __init__(self, config: SystemConfig, design_name: str = "O"):
+    def __init__(
+        self,
+        config: SystemConfig,
+        design_name: str = "O",
+        telemetry: Optional[Telemetry] = None,
+    ):
         config.validate()
         self.config = config
         self.design_name = design_name
+        self.telemetry = resolve_telemetry(telemetry)
         self.rng = np.random.default_rng(config.seed)
 
         has_cache = config.cache.style is not CacheStyle.NONE
@@ -176,6 +183,103 @@ class NdpSystem:
         self.energy_model = EnergyModel(
             config, self.interconnect, self.dram, self.sram
         )
+        if self.telemetry.enabled:
+            self._register_telemetry()
+
+    # ------------------------------------------------------------------
+    def _register_telemetry(self) -> None:
+        """Bind every probe of the machine to the telemetry object.
+
+        All counter-style metrics are *pull* bindings onto the stat
+        structs the simulator maintains anyway (the traffic meter,
+        DRAM/SRAM/cache stats), evaluated only at sample points — so
+        the telemetry totals are the RunResult aggregates by
+        construction and the hot paths stay untouched.
+        """
+        import dataclasses as _dc
+
+        tel = self.telemetry
+        tel.bind(
+            self.config.core.frequency_ghz,
+            design=self.design_name,
+            num_units=self.config.num_units,
+            policy=self.config.scheduler.policy.value,
+            cache_style=self.config.cache.style.value,
+        )
+        tel.link_meter = self.interconnect.enable_link_metering()
+        self.executor.telemetry = tel
+        self.scheduler.telemetry = tel
+        reg = tel.registry
+
+        def bind_fields(scope_name, obj):
+            scope = reg.scope(scope_name)
+            for f in _dc.fields(obj):
+                scope.register_pull(
+                    f.name, lambda o=obj, n=f.name: getattr(o, n)
+                )
+
+        ms = self.memory_system
+        bind_fields("noc", ms.traffic)
+        bind_fields("dram", ms.dram_stats)
+        bind_fields("sram", ms.sram_stats)
+
+        # System-wide Traveller totals (zero-valued for cacheless
+        # designs, so the counter names exist on every machine).
+        trav = reg.scope("traveller")
+        for name in ("hits", "misses", "insertions", "bypasses",
+                     "evictions", "home_direct"):
+            trav.register_pull(
+                name, lambda n=name: getattr(ms.cache_stats(), n)
+            )
+        trav.register_pull("hit_rate", lambda: ms.cache_stats().hit_rate)
+
+        # Per-unit scopes: traveller arrays, task/activity counters.
+        for uid, unit in enumerate(self.units):
+            scope = reg.scope(f"unit.{uid}")
+            scope.register_pull(
+                "tasks_executed", lambda u=unit: u.tasks_executed
+            )
+            scope.register_pull(
+                "active_cycles", lambda u=unit: u.active_cycles
+            )
+            cache = ms.caches[uid]
+            if cache is not None:
+                tscope = scope.scope("traveller")
+                tscope.register_pull(
+                    "hits", lambda c=cache: c.stats.hits
+                )
+                tscope.register_pull(
+                    "misses", lambda c=cache: c.stats.misses
+                )
+                tscope.register_pull(
+                    "occupancy", lambda c=cache: c.occupancy()
+                )
+            tel.timeline.name_thread(0, uid, f"unit {uid}")
+
+        ex = reg.scope("exchange")
+        for name in ("rounds", "intra_messages", "inter_messages"):
+            ex.register_pull(
+                name, lambda n=name: getattr(self.exchange.stats, n)
+            )
+        if self.camp_mapper is not None:
+            camp = reg.scope("camp")
+            camp.register_pull(
+                "memo_lines", lambda: self.camp_mapper.memo_entries
+            )
+
+        # Time-series probes, sampled at timestamp barriers.
+        s = tel.sampler
+        s.add_probe("traveller.hits", lambda: ms.cache_stats().hits)
+        s.add_probe("traveller.misses", lambda: ms.cache_stats().misses)
+        s.add_probe("traveller.hit_rate", lambda: ms.cache_stats().hit_rate)
+        s.add_probe("noc.inter_hops", lambda: ms.traffic.inter_hops)
+        s.add_probe("noc.messages", lambda: ms.traffic.messages)
+        s.add_probe("dram.reads", lambda: ms.dram_stats.reads)
+        s.add_probe("exchange.skew", self.exchange.skew)
+        s.add_probe(
+            "exchange.w_mean",
+            lambda: float(self.exchange.true_workloads.mean()),
+        )
 
     # ------------------------------------------------------------------
     def _build_scheduler(self, context: SchedulerContext, has_cache: bool) -> Scheduler:
@@ -211,6 +315,8 @@ class NdpSystem:
         the workload's final answer is checked against its independent
         reference implementation (raises AssertionError on mismatch).
         """
+        if self.telemetry.enabled:
+            self.telemetry.timeline.metadata["workload"] = workload.name
         state = workload.setup(self)
         roots = workload.root_tasks(state)
         trace: ExecutionTrace = self.executor.run(
@@ -233,6 +339,9 @@ class NdpSystem:
             sram_stats=self.memory_system.sram_stats,
             makespan_cycles=trace.makespan_cycles,
         )
+        telemetry = None
+        if self.telemetry.enabled:
+            telemetry = self.telemetry.summary()
         return RunResult(
             design=self.design_name,
             workload=workload_name,
@@ -247,17 +356,21 @@ class NdpSystem:
             timestamps_executed=trace.timestamps_executed,
             steals=trace.steals,
             instructions=trace.instructions,
+            telemetry=telemetry,
         )
 
 
 def build_system(
     design: str = "O",
     config: Optional[SystemConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> NdpSystem:
     """Assemble the machine for one Table 2 design point.
 
     ``config`` defaults to the paper's Table 1 system; the design's
     policy and cache style override the corresponding config fields.
+    Pass a :class:`~repro.telemetry.Telemetry` to instrument the run
+    (omitted = the zero-overhead null sink).
     """
     if design not in DESIGN_POINTS:
         raise KeyError(
@@ -265,4 +378,4 @@ def build_system(
         )
     base = config if config is not None else default_config()
     cfg = _apply_design(base, DESIGN_POINTS[design])
-    return NdpSystem(cfg, design_name=design)
+    return NdpSystem(cfg, design_name=design, telemetry=telemetry)

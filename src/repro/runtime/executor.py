@@ -107,6 +107,12 @@ class BulkSyncExecutor:
         self._issue_spread_cap_ns = 300.0
         # Optional per-task tracing (see repro.runtime.trace).
         self.recorder = None
+        # Telemetry sink; NdpSystem swaps in a live one when enabled.
+        # Per-phase hooks guard on .enabled, so the disabled path costs
+        # one attribute check per phase.
+        from repro.telemetry import NULL_TELEMETRY
+
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     def run(
@@ -138,18 +144,28 @@ class BulkSyncExecutor:
             advance_clock=True,
         )
 
+        telemetry = self.telemetry
+        last_ts = 0
         while pending:
             if (max_timestamps is not None
                     and trace.timestamps_executed >= max_timestamps):
                 break
             ts = min(pending)
+            last_ts = ts
             tasks = pending.pop(ts)
 
             by_unit = self._group_by_unit(tasks)
+            phase_steals = 0
             if self.scheduler.uses_work_stealing:
-                trace.steals += self._steal_phase(by_unit)
+                phase_steals = self._steal_phase(by_unit)
             elif self.scheduler.uses_window_rescheduling:
-                trace.steals += self._window_reschedule_phase(by_unit)
+                phase_steals = self._window_reschedule_phase(by_unit)
+            trace.steals += phase_steals
+
+            if telemetry.enabled:
+                telemetry.phase_begin(
+                    ts, clock, [len(q) for q in by_unit]
+                )
 
             phase_makespan = self._execute_phase(
                 by_unit, ts, state, clock, pending, trace
@@ -159,6 +175,8 @@ class BulkSyncExecutor:
 
             self.memory_system.end_timestamp()
             self.exchange.force_exchange(clock)
+            if telemetry.enabled:
+                telemetry.phase_end(ts, clock, len(tasks), phase_steals)
             if on_barrier is not None:
                 # The bulk-update hook may emit the next phase's tasks
                 # (wave-synchronous workloads build them from state
@@ -170,6 +188,8 @@ class BulkSyncExecutor:
                         advance_clock=True,
                     )
 
+        if telemetry.enabled:
+            telemetry.run_end(clock, last_ts)
         return trace
 
     # ------------------------------------------------------------------
@@ -191,6 +211,9 @@ class BulkSyncExecutor:
         spawn time use the execution clock of their spawning task.
         """
         ctx = self.scheduler.context
+        if self.telemetry.enabled:
+            # Stamp decision records with the clock of this batch.
+            self.telemetry.now_ns = self.telemetry.cycles_to_ns(clock)
         for task in tasks:
             unit = self.scheduler.choose_unit(task)
             task.assigned_unit = unit

@@ -35,6 +35,26 @@ class TaskQueue:
         self._queue: Deque[Task] = deque()
         self.total_enqueued = 0
         self.total_dequeued = 0
+        # Optional telemetry hooks (see attach_telemetry).
+        self._tel_enqueued = None
+        self._tel_dequeued = None
+        self._tel_depth = None
+
+    def attach_telemetry(self, scope) -> None:
+        """Mirror queue activity into a telemetry scope.
+
+        ``scope`` is a :class:`repro.telemetry.registry.Scope` (e.g.
+        ``registry.scope("unit.3.queue")``); the queue then maintains
+        ``<scope>.enqueued`` / ``<scope>.dequeued`` counters and a
+        ``<scope>.depth`` gauge alongside its own totals.
+        """
+        self._tel_enqueued = scope.counter("enqueued")
+        self._tel_dequeued = scope.counter("dequeued")
+        self._tel_depth = scope.gauge("depth")
+
+    def _tel_update_depth(self) -> None:
+        if self._tel_depth is not None:
+            self._tel_depth.set(len(self._queue))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -46,16 +66,24 @@ class TaskQueue:
     def enqueue(self, task: Task) -> None:
         self._queue.append(task)
         self.total_enqueued += 1
+        if self._tel_enqueued is not None:
+            self._tel_enqueued.inc()
+            self._tel_update_depth()
 
     def enqueue_front(self, task: Task) -> None:
         """Return a task to the head (e.g. after a failed steal)."""
         self._queue.appendleft(task)
+        self._tel_update_depth()
 
     def dequeue(self) -> Task:
         if not self._queue:
             raise IndexError("dequeue from an empty task queue")
         self.total_dequeued += 1
-        return self._queue.popleft()
+        task = self._queue.popleft()
+        if self._tel_dequeued is not None:
+            self._tel_dequeued.inc()
+            self._tel_update_depth()
+        return task
 
     def steal_from_back(self) -> Optional[Task]:
         """Victim side of work stealing: give up the *youngest* task.
@@ -67,7 +95,11 @@ class TaskQueue:
         if not self._queue:
             return None
         self.total_dequeued += 1
-        return self._queue.pop()
+        if self._tel_dequeued is not None:
+            self._tel_dequeued.inc()
+        task = self._queue.pop()
+        self._tel_update_depth()
+        return task
 
     # ------------------------------------------------------------------
     def prefetch_candidates(self) -> List[Task]:

@@ -11,15 +11,26 @@ units were hot in which phase?) that aggregate counters cannot answer.
     system.executor.recorder = recorder
     ...run...
     print(recorder.placement_summary(system.interconnect.cost_matrix))
+
+Since the telemetry subsystem landed, the recorder is a thin adapter
+over a :class:`repro.telemetry.Timeline`: each task record is stored as
+a complete ("X") span whose ``args`` carry the exact record fields, so
+the same buffer both feeds the placement analyses below and exports to
+Chrome/Perfetto alongside the rest of a run's events.  Pass an existing
+timeline (e.g. ``telemetry.timeline``) to interleave task spans with
+the phase/scheduler events of an instrumented run; by default the
+recorder owns a private timeline bounded by ``capacity``.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import dataclasses
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
+
+from repro.telemetry import Timeline
 
 
 @dataclass(frozen=True)
@@ -37,73 +48,108 @@ class TaskRecord:
     stolen: bool
 
 
-class TaskTraceRecorder:
-    """Collects :class:`TaskRecord` entries during a run."""
+_RECORD_FIELDS = tuple(f.name for f in dataclasses.fields(TaskRecord))
 
-    def __init__(self, capacity: Optional[int] = None):
-        """``capacity`` bounds memory for long runs (oldest dropped)."""
-        self.capacity = capacity
-        # A deque evicts the oldest record in O(1); the previous list
-        # backing store paid O(n) per eviction (list.pop(0)), which
-        # made bounded recorders quadratic over long runs.
-        self._records: Deque[TaskRecord] = deque(maxlen=capacity)
-        self.dropped = 0
+
+class TaskTraceRecorder:
+    """Collects :class:`TaskRecord` entries during a run.
+
+    Thin adapter over a :class:`~repro.telemetry.Timeline`: records are
+    stored as trace spans (name ``"task <id>"``, ``tid`` = executing
+    unit) and reconstructed from the span ``args`` on iteration.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        timeline: Optional[Timeline] = None,
+        frequency_ghz: float = 1.0,
+    ):
+        """``capacity`` bounds memory for long runs (oldest dropped);
+        it is ignored when an external ``timeline`` is supplied (the
+        timeline's own bound applies).  ``frequency_ghz`` converts the
+        recorded cycle times to the nanoseconds trace viewers expect.
+        """
+        if timeline is None:
+            timeline = Timeline(capacity=capacity)
+        self.timeline = timeline
+        self.frequency_ghz = frequency_ghz
 
     # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> Optional[int]:
+        return self.timeline.capacity
+
+    @property
+    def dropped(self) -> int:
+        return self.timeline.dropped
+
     def record(self, record: TaskRecord) -> None:
-        if self.capacity is not None and len(self._records) >= self.capacity:
-            self.dropped += 1  # the append below evicts the oldest
-        self._records.append(record)
+        freq = self.frequency_ghz
+        self.timeline.complete(
+            f"task {record.task_id}",
+            ts_ns=record.start_cycles / freq,
+            dur_ns=record.duration_cycles / freq,
+            pid=0,
+            tid=record.assigned_unit,
+            **{name: getattr(record, name) for name in _RECORD_FIELDS},
+        )
 
     def __len__(self) -> int:
-        return len(self._records)
+        return sum(1 for _ in self)
 
     def __iter__(self) -> Iterator[TaskRecord]:
-        return iter(self._records)
+        for event in self.timeline:
+            if event.ph == "X" and "task_id" in event.args:
+                yield TaskRecord(
+                    **{name: event.args[name] for name in _RECORD_FIELDS}
+                )
 
     @property
     def records(self) -> List[TaskRecord]:
-        return list(self._records)
+        return list(self)
 
     def clear(self) -> None:
-        self._records.clear()
-        self.dropped = 0
+        self.timeline.clear()
 
     # ------------------------------------------------------------------
     # analyses
     # ------------------------------------------------------------------
     def migrated_fraction(self) -> float:
         """Share of tasks that ran away from their spawner's unit."""
-        if not self._records:
+        records = self.records
+        if not records:
             return 0.0
-        moved = sum(1 for r in self._records
+        moved = sum(1 for r in records
                     if r.assigned_unit != r.spawner_unit)
-        return moved / len(self._records)
+        return moved / len(records)
 
     def stolen_fraction(self) -> float:
-        if not self._records:
+        records = self.records
+        if not records:
             return 0.0
-        return sum(1 for r in self._records if r.stolen) / len(self._records)
+        return sum(1 for r in records if r.stolen) / len(records)
 
     def mean_placement_distance(self, cost_matrix: np.ndarray) -> float:
         """Average spawner→executor distance cost over all tasks."""
-        if not self._records:
+        records = self.records
+        if not records:
             return 0.0
         total = sum(
             float(cost_matrix[r.spawner_unit, r.assigned_unit])
-            for r in self._records
+            for r in records
         )
-        return total / len(self._records)
+        return total / len(records)
 
     def per_unit_task_counts(self, num_units: int) -> np.ndarray:
         counts = np.zeros(num_units, dtype=np.int64)
-        for r in self._records:
+        for r in self:
             counts[r.assigned_unit] += 1
         return counts
 
     def per_phase_task_counts(self) -> Dict[int, int]:
         out: Dict[int, int] = {}
-        for r in self._records:
+        for r in self:
             out[r.timestamp] = out.get(r.timestamp, 0) + 1
         return out
 
@@ -113,20 +159,22 @@ class TaskTraceRecorder:
         Uses the executor's hide-adjusted stall; a high share means
         the workload is remote-access bound.
         """
-        total = sum(r.duration_cycles for r in self._records)
+        records = self.records
+        total = sum(r.duration_cycles for r in records)
         if total <= 0:
             return 0.0
         # duration = compute + visible stall; visible stall cycles are
         # duration - compute, but compute isn't recorded — approximate
         # via the raw stall_ns bound.
         stall = sum(min(r.duration_cycles, r.stall_ns * 2.0)
-                    for r in self._records)
+                    for r in records)
         return min(1.0, stall / total)
 
     def placement_summary(self, cost_matrix: np.ndarray) -> str:
         """Human-readable placement digest."""
+        records = self.records
         return (
-            f"tasks={len(self._records)} "
+            f"tasks={len(records)} "
             f"migrated={self.migrated_fraction():.0%} "
             f"stolen={self.stolen_fraction():.0%} "
             f"mean spawn->run distance="
@@ -137,16 +185,6 @@ class TaskTraceRecorder:
     def to_rows(self) -> List[Dict[str, object]]:
         """Flat dict rows (for CSV/JSON export)."""
         return [
-            {
-                "task_id": r.task_id,
-                "timestamp": r.timestamp,
-                "spawner_unit": r.spawner_unit,
-                "assigned_unit": r.assigned_unit,
-                "start_cycles": r.start_cycles,
-                "duration_cycles": r.duration_cycles,
-                "stall_ns": r.stall_ns,
-                "hint_lines": r.hint_lines,
-                "stolen": r.stolen,
-            }
-            for r in self._records
+            {name: getattr(r, name) for name in _RECORD_FIELDS}
+            for r in self
         ]

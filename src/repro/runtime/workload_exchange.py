@@ -127,6 +127,25 @@ class WorkloadExchange:
     def snapshot_mean(self) -> float:
         return float(self._snapshot.mean())
 
+    def skew(self) -> float:
+        """W_max / W_mean of the *true* counters (1.0 = balanced).
+
+        This is the queue-imbalance signal the hybrid policy's
+        cost_load term acts on (Equation 3), sampled by the telemetry
+        subsystem to show imbalance evolving over a run.
+        """
+        mean = float(self._true.mean())
+        if mean <= 0.0:
+            return 1.0
+        return float(self._true.max()) / mean
+
+    def snapshot_skew(self) -> float:
+        """W_max / W_mean as the schedulers currently see it (stale)."""
+        mean = float(self._snapshot.mean())
+        if mean <= 0.0:
+            return 1.0
+        return float(self._snapshot.max()) / mean
+
     def reset(self) -> None:
         self._true[:] = 0.0
         self._snapshot[:] = 0.0

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.analysis.metrics import RunResult
 from repro.config import SystemConfig, default_config, experiment_config
 from repro.core.system import DESIGN_POINTS, build_system
+from repro.telemetry import Telemetry
 import repro.workloads  # noqa: F401  (imports register the workload factories)
 from repro.workloads.base import Workload, make_workload
 
@@ -41,6 +42,7 @@ def simulate(
     workload: WorkloadLike,
     config: Optional[SystemConfig] = None,
     verify: bool = False,
+    telemetry: Optional[Telemetry] = None,
     **workload_kwargs,
 ) -> RunResult:
     """Run one (design, workload) pair and return its metrics.
@@ -54,11 +56,15 @@ def simulate(
     ``config`` defaults to :func:`repro.config.experiment_config` — the
     Table 1 machine with the workload-exchange interval scaled to the
     reduced dataset sizes (see the constant's docstring).
+
+    Pass a :class:`~repro.telemetry.Telemetry` to instrument the run:
+    the returned result then carries a ``telemetry`` summary and the
+    Telemetry object itself holds the full timeline/series for export.
     """
     wl = _resolve_workload(workload, **workload_kwargs)
     if config is None:
         config = experiment_config()
-    system = build_system(design, config)
+    system = build_system(design, config, telemetry=telemetry)
     return system.run(wl, verify=verify)
 
 
@@ -87,12 +93,23 @@ def sweep_configs(
     design: str,
     workload: WorkloadLike,
     configs: Dict[str, SystemConfig],
+    cache: object = "default",
 ) -> Dict[str, RunResult]:
     """Run one design/workload across a dict of named configurations.
+
+    Each configuration routes through the on-disk result cache exactly
+    like :func:`compare_designs` — re-sweeping a grid re-simulates only
+    the points whose configuration actually changed.  ``cache=False``
+    (or the ``REPRO_NO_CACHE`` environment variable) forces live runs.
 
     (Formerly exported as ``repro.sweep``; that name now hosts the
     sweep-engine package, whose module object remains callable with
     this signature for backwards compatibility.)
     """
+    from repro.sweep.runner import cached_simulate
+
     wl = _resolve_workload(workload)
-    return {name: simulate(design, wl, cfg) for name, cfg in configs.items()}
+    return {
+        name: cached_simulate(design, wl, cfg, cache=cache)
+        for name, cfg in configs.items()
+    }

@@ -88,6 +88,15 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def telemetry_path_for(self, key: str) -> Path:
+        """Sidecar path for a run's telemetry summary.
+
+        Telemetry lives *next to* the result entry rather than inside
+        it: run keys and the result schema stay byte-identical whether
+        or not a run was instrumented.
+        """
+        return self.root / key[:2] / f"{key}.telemetry.json"
+
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[RunResult]:
         """Return the cached result for ``key``, or ``None`` on a miss.
@@ -148,6 +157,49 @@ class ResultCache:
             self.stats.stores += 1
         except OSError:
             self.stats.io_errors += 1
+
+    def store_telemetry(self, key: str, summary: Dict[str, Any]) -> None:
+        """Persist a telemetry-summary dict next to the result entry.
+
+        Same error policy as :meth:`store`: failures are swallowed and
+        accounted, never raised.
+        """
+        if not self._active():
+            return
+        path = self.telemetry_path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(summary, fh)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            self.stats.io_errors += 1
+
+    def load_telemetry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored telemetry-summary dict, or None (miss/corrupt)."""
+        if not self._active():
+            return None
+        path = self.telemetry_path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("telemetry sidecar is not an object")
+            return payload
+        except (OSError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                self.stats.io_errors += 1
+            return None
 
     # ------------------------------------------------------------------
     def clear(self) -> int:

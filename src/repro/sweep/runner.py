@@ -41,12 +41,12 @@ ProgressFn = Callable[[str], None]
 CacheLike = Union[ResultCache, bool, str, None]
 
 
-def _live_simulate(design: str, workload, config) -> RunResult:
+def _live_simulate(design: str, workload, config, telemetry=None) -> RunResult:
     """The uncached simulation call (module-level so tests can stub it
     with a counting fake and workers can resolve it after a fork)."""
     from repro.simulate import simulate
 
-    return simulate(design, workload, config)
+    return simulate(design, workload, config, telemetry=telemetry)
 
 
 def _point_key(
@@ -68,6 +68,7 @@ def cached_simulate(
     workload: Union[str, Workload],
     config: Optional[SystemConfig] = None,
     cache: CacheLike = "default",
+    telemetry=None,
     **workload_kwargs,
 ) -> RunResult:
     """Simulate one point through the result cache.
@@ -75,23 +76,37 @@ def cached_simulate(
     Same contract as :func:`repro.simulate.simulate`; on a cache hit
     the stored result is returned without building a machine.  Pass
     ``cache=False`` (or set ``REPRO_NO_CACHE``) to force a live run.
+
+    A live :class:`~repro.telemetry.Telemetry` forces a live run (the
+    cache stores aggregates, not timelines) but still feeds the cache:
+    the result entry is written as usual and the telemetry summary goes
+    to a ``<key>.telemetry.json`` sidecar, leaving run keys and the
+    result schema untouched.
     """
     if config is None:
         config = experiment_config()
     if workload_kwargs and isinstance(workload, str):
         workload = make_workload(workload, **workload_kwargs)
+    live_tel = telemetry if telemetry is not None and telemetry.enabled \
+        else None
     store = resolve_cache(cache)
     key = _point_key(design, workload, config, store)
-    if key is not None:
+    if key is not None and live_tel is None:
         hit = store.load(key)
         if hit is not None:
             return hit
-    result = _live_simulate(design, workload, config)
+    if live_tel is not None:
+        result = _live_simulate(design, workload, config, telemetry=live_tel)
+    else:
+        # positional-only call keeps older _live_simulate stubs working
+        result = _live_simulate(design, workload, config)
     if key is not None:
         store.store(key, result, meta={
             "design": design,
             "workload": getattr(workload, "name", str(workload)),
         })
+        if result.telemetry is not None:
+            store.store_telemetry(key, result.telemetry.to_dict())
     return result
 
 

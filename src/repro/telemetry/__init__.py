@@ -1,0 +1,54 @@
+"""Unified observability for the simulator (counters, series, traces).
+
+Quick start::
+
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(sample_interval=1)
+    result = repro.simulate("O", "pr", telemetry=tel)
+
+    tel.registry.value("traveller.hits")      # == result.cache.hits
+    tel.sampler.series("exchange.skew")       # W_max / W_mean over time
+    tel.timeline.write_chrome("trace.json")   # open in Perfetto
+
+Or from the command line::
+
+    python -m repro trace O pr --out trace.json
+
+See ``docs/telemetry.md`` for the probe map and export formats.
+"""
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySummary,
+    resolve_telemetry,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Scope,
+)
+from repro.telemetry.sampler import Sampler, TimeSeries, VectorSeries
+from repro.telemetry.timeline import Timeline, TraceEvent
+
+__all__ = [
+    "Telemetry",
+    "TelemetrySummary",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "resolve_telemetry",
+    "MetricRegistry",
+    "Scope",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sampler",
+    "TimeSeries",
+    "VectorSeries",
+    "Timeline",
+    "TraceEvent",
+]

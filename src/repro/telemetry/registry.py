@@ -1,0 +1,202 @@
+"""Named metrics with hierarchical scopes.
+
+The registry is the flat namespace behind every telemetry number:
+dotted names (``unit.3.traveller.hits``) identify one metric each, and
+:class:`Scope` objects provide cheap hierarchical prefixes so a
+subsystem can mint its own metrics without knowing where it sits in
+the tree.
+
+Two registration styles coexist:
+
+* **push** — :class:`Counter`, :class:`Gauge`, :class:`Histogram`
+  objects owned by the instrumented code, updated inline (used for
+  low-frequency events: scheduler decisions, exchange rounds);
+* **pull** — a callable registered with :meth:`MetricRegistry.
+  register_pull` and evaluated only when the registry is *collected*
+  (at sample points and at run end).  Hot paths that already maintain
+  their own stat structs (the traffic meter, DRAM/SRAM/cache stats)
+  are exported this way, so enabling telemetry adds zero work per
+  memory access — the collector reads the ground-truth counters the
+  simulator keeps anyway, which also guarantees the telemetry totals
+  match the :class:`~repro.analysis.metrics.RunResult` aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+PullFn = Callable[[], Union[int, float]]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, n: Union[int, float] = 1) -> None:
+        self.value += n
+
+    def inc(self) -> None:
+        self.value += 1
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, v: Union[int, float]) -> None:
+        self.value = float(v)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max plus power-of-two bucket counts — enough
+    for latency-style distributions without storing samples.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+    #: bucket i counts observations in [2**(i-1), 2**i); bucket 0 is < 1.
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, v: Union[int, float]) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+        b = max(0, int(v).bit_length()) if v >= 1.0 else 0
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+
+class MetricRegistry:
+    """The flat name -> metric table plus the pull-metric hooks."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._pulls: Dict[str, PullFn] = {}
+
+    # ------------------------------------------------------------------
+    # minting (idempotent: same name -> same object)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def register_pull(self, name: str, fn: PullFn) -> None:
+        """Bind ``name`` to a callable read at collect time.
+
+        Re-registering replaces the previous binding (a rebuilt system
+        re-binds its probes).
+        """
+        self._pulls[name] = fn
+
+    def scope(self, prefix: str) -> "Scope":
+        """A view of the registry that prefixes every name."""
+        return Scope(self, prefix)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def collect(self) -> Dict[str, float]:
+        """Every metric's current value, pull metrics evaluated now."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            for k, v in h.summary().items():
+                out[f"{name}.{k}"] = v
+        for name, fn in self._pulls.items():
+            out[name] = float(fn())
+        return out
+
+    def value(self, name: str) -> float:
+        """One metric's current value (pull metrics evaluated now)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._pulls:
+            return float(self._pulls[name]())
+        raise KeyError(name)
+
+    def names(self) -> List[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges)
+            | set(self._histograms) | set(self._pulls)
+        )
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+
+class Scope:
+    """A dotted-prefix view of a registry (``unit.3.traveller``)."""
+
+    def __init__(self, registry: MetricRegistry, prefix: str):
+        self.registry = registry
+        self.prefix = prefix.rstrip(".")
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._name(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self._name(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(self._name(name))
+
+    def register_pull(self, name: str, fn: PullFn) -> None:
+        self.registry.register_pull(self._name(name), fn)
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self.registry, self._name(prefix))

@@ -1,0 +1,167 @@
+"""Periodic time-series sampling.
+
+A :class:`Sampler` owns a set of named *probes* — zero-argument
+callables returning a scalar or a 1-D vector — and invokes them at
+timestamp boundaries, recording one :class:`TimeSeries` (or
+:class:`VectorSeries`) row per probe per sample.  ``interval`` thins
+the cadence: ``interval=4`` samples every fourth timestamp.
+
+The sampler also accepts *explicit* rows (:meth:`record` /
+:meth:`record_vector`) for quantities only the caller can see at the
+right moment — e.g. per-unit queue depths at phase start, before the
+queues drain.
+
+``callbacks_invoked`` counts every probe call ever made; the
+disabled-telemetry overhead guard in the test suite asserts it stays
+zero when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Union
+
+import numpy as np
+
+ProbeFn = Callable[[], Union[int, float, np.ndarray]]
+
+
+@dataclass
+class TimeSeries:
+    """One scalar quantity sampled over simulated time."""
+
+    name: str
+    timestamps: List[int] = field(default_factory=list)
+    times_ns: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, timestamp: int, time_ns: float, value: float) -> None:
+        self.timestamps.append(timestamp)
+        self.times_ns.append(time_ns)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def deltas(self) -> List[float]:
+        """Per-sample increments of a cumulative series."""
+        out, prev = [], 0.0
+        for v in self.values:
+            out.append(v - prev)
+            prev = v
+        return out
+
+    def to_dict(self) -> Dict[str, list]:
+        return {
+            "timestamps": list(self.timestamps),
+            "times_ns": list(self.times_ns),
+            "values": list(self.values),
+        }
+
+
+@dataclass
+class VectorSeries:
+    """One per-unit (or per-link) vector sampled over simulated time."""
+
+    name: str
+    timestamps: List[int] = field(default_factory=list)
+    times_ns: List[float] = field(default_factory=list)
+    rows: List[List[float]] = field(default_factory=list)
+
+    def append(self, timestamp: int, time_ns: float,
+               row: Sequence[float]) -> None:
+        self.timestamps.append(timestamp)
+        self.times_ns.append(time_ns)
+        self.rows.append([float(v) for v in row])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def matrix(self) -> np.ndarray:
+        """(samples, width) array of the recorded rows."""
+        if not self.rows:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.asarray(self.rows, dtype=np.float64)
+
+    def to_dict(self) -> Dict[str, list]:
+        return {
+            "timestamps": list(self.timestamps),
+            "times_ns": list(self.times_ns),
+            "rows": [list(r) for r in self.rows],
+        }
+
+
+class Sampler:
+    """Invokes probes on a timestamp cadence and stores the series."""
+
+    def __init__(self, interval: int = 1):
+        if interval < 1:
+            raise ValueError("sample interval must be >= 1")
+        self.interval = int(interval)
+        self._probes: Dict[str, ProbeFn] = {}
+        self.scalar_series: Dict[str, TimeSeries] = {}
+        self.vector_series: Dict[str, VectorSeries] = {}
+        self.samples_taken = 0
+        self.callbacks_invoked = 0
+
+    # ------------------------------------------------------------------
+    def add_probe(self, name: str, fn: ProbeFn) -> None:
+        """Register (or replace) the probe behind series ``name``."""
+        self._probes[name] = fn
+
+    def due(self, timestamp: int) -> bool:
+        return timestamp % self.interval == 0
+
+    # ------------------------------------------------------------------
+    def sample(self, timestamp: int, time_ns: float,
+               force: bool = False) -> bool:
+        """Run every probe if ``timestamp`` is on the cadence.
+
+        Returns True when a sample was actually taken.  ``force``
+        ignores the cadence (the run-end flush, so every series
+        carries a final row).
+        """
+        if not force and not self.due(timestamp):
+            return False
+        for name, fn in self._probes.items():
+            self.callbacks_invoked += 1
+            value = fn()
+            if isinstance(value, np.ndarray) and value.ndim >= 1:
+                self.record_vector(name, timestamp, time_ns, value)
+            else:
+                self.record(name, timestamp, time_ns, float(value))
+        self.samples_taken += 1
+        return True
+
+    def record(self, name: str, timestamp: int, time_ns: float,
+               value: float) -> None:
+        """Append one explicit scalar row to series ``name``."""
+        series = self.scalar_series.get(name)
+        if series is None:
+            series = self.scalar_series[name] = TimeSeries(name)
+        series.append(timestamp, time_ns, value)
+
+    def record_vector(self, name: str, timestamp: int, time_ns: float,
+                      row: Sequence[float]) -> None:
+        """Append one explicit vector row to series ``name``."""
+        series = self.vector_series.get(name)
+        if series is None:
+            series = self.vector_series[name] = VectorSeries(name)
+        series.append(timestamp, time_ns, row)
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> Union[TimeSeries, VectorSeries]:
+        if name in self.scalar_series:
+            return self.scalar_series[name]
+        return self.vector_series[name]
+
+    def names(self) -> List[str]:
+        return sorted(set(self.scalar_series) | set(self.vector_series))
+
+    def to_dict(self) -> Dict[str, Dict[str, list]]:
+        out: Dict[str, Dict[str, list]] = {}
+        for name, s in self.scalar_series.items():
+            out[name] = s.to_dict()
+        for name, s in self.vector_series.items():
+            out[name] = s.to_dict()
+        return out

@@ -1,0 +1,163 @@
+"""Span/event timeline with Chrome ``trace_event`` export.
+
+Events accumulate in simulation order and export to the Chrome/Perfetto
+``trace_event`` JSON format (open the file at ``chrome://tracing`` or
+https://ui.perfetto.dev) and to JSONL (one event per line, for ad-hoc
+``jq``/pandas processing).
+
+Event model
+-----------
+* **complete** spans (``ph="X"``) — a named interval with a duration:
+  executor phases, executed tasks;
+* **instant** events (``ph="i"``) — scheduler decisions, steals;
+* **counter** events (``ph="C"``) — per-timestamp sampled values:
+  queue depths, traveller hit/miss totals.  Perfetto renders each
+  counter name as a stacked track.
+
+Timestamps are kept in *nanoseconds of simulated time* internally and
+converted to the microseconds the trace format specifies at export.
+``pid``/``tid`` group events into Perfetto tracks: pid 0 is the
+system-level process (phases, schedulers, aggregate counters); units
+appear as threads of pid 0 so per-unit tracks sort together.
+
+A ``capacity`` bound turns the buffer into a ring: the oldest events
+drop first (counted in :attr:`dropped`), so tracing a huge run keeps
+the tail — the part a timeline viewer usually needs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+#: the default event-buffer bound (events, not bytes).
+DEFAULT_CAPACITY = 500_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline event (Chrome trace_event semantics)."""
+
+    name: str
+    ph: str                  # "X" complete, "i" instant, "C" counter
+    ts_ns: float             # simulated time, nanoseconds
+    dur_ns: float = 0.0      # complete events only
+    pid: int = 0
+    tid: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        ev: Dict[str, Any] = {
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts_ns / 1000.0,   # trace_event ts unit: us
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == "X":
+            ev["dur"] = self.dur_ns / 1000.0
+        if self.ph == "i":
+            ev["s"] = "t"                # thread-scoped instant
+        if self.args:
+            ev["args"] = self.args
+        return ev
+
+
+class Timeline:
+    """Bounded buffer of :class:`TraceEvent` entries."""
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        #: trace-level metadata merged into the exported JSON.
+        self.metadata: Dict[str, Any] = {}
+        self._thread_names: Dict[tuple, str] = {}
+        self._process_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def push(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1  # deque evicts the oldest on append
+        self._events.append(event)
+
+    def complete(self, name: str, ts_ns: float, dur_ns: float,
+                 pid: int = 0, tid: int = 0, **args: Any) -> None:
+        """A finished span [ts, ts + dur]."""
+        self.push(TraceEvent(name, "X", ts_ns, dur_ns, pid, tid, args))
+
+    def instant(self, name: str, ts_ns: float,
+                pid: int = 0, tid: int = 0, **args: Any) -> None:
+        self.push(TraceEvent(name, "i", ts_ns, 0.0, pid, tid, args))
+
+    def counter(self, name: str, ts_ns: float,
+                values: Dict[str, float], pid: int = 0) -> None:
+        """A counter sample; each key becomes a series of the track."""
+        self.push(TraceEvent(name, "C", ts_ns, 0.0, pid, 0, dict(values)))
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(pid, tid)] = name
+
+    def name_process(self, pid: int, name: str) -> None:
+        self._process_names[pid] = name
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def _metadata_events(self) -> List[Dict[str, Any]]:
+        out = []
+        for pid, name in sorted(self._process_names.items()):
+            out.append({
+                "name": "process_name", "ph": "M", "ts": 0.0,
+                "pid": pid, "tid": 0, "args": {"name": name},
+            })
+        for (pid, tid), name in sorted(self._thread_names.items()):
+            out.append({
+                "name": "thread_name", "ph": "M", "ts": 0.0,
+                "pid": pid, "tid": tid, "args": {"name": name},
+            })
+        return out
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The full trace as a Chrome trace_event JSON object."""
+        events = self._metadata_events()
+        events.extend(e.to_chrome() for e in self._events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": dict(self.metadata, dropped_events=self.dropped),
+        }
+
+    def write_chrome(self, path: str) -> None:
+        """Write ``chrome://tracing`` / Perfetto-loadable JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+
+    def write_jsonl(self, path: str) -> None:
+        """One chrome-format event object per line."""
+        with open(path, "w") as fh:
+            for ev in self._metadata_events():
+                fh.write(json.dumps(ev) + "\n")
+            for e in self._events:
+                fh.write(json.dumps(e.to_chrome()) + "\n")
