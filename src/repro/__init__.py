@@ -51,6 +51,16 @@ from repro.simulate import (
 )
 from repro.workloads.base import WORKLOAD_FACTORIES, Workload, make_workload
 
+# Fault-injection & resilience subsystem (docs/resilience.md).
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    ResilienceStats,
+    make_random_schedule,
+    run_fault_campaign,
+)
+
 # The sweep engine: parallel grid runs + the content-addressed result
 # cache.  ``repro.sweep`` is the package (its module object stays
 # callable with the legacy ``sweep(design, workload, configs)``
@@ -106,6 +116,13 @@ __all__ = [
     "Workload",
     "make_workload",
     "WORKLOAD_FACTORIES",
+    # faults & resilience
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "ResilienceStats",
+    "make_random_schedule",
+    "run_fault_campaign",
     # results
     "RunResult",
     "__version__",

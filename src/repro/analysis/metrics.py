@@ -23,6 +23,7 @@ from repro.arch.sram import SramStats
 from repro.core.cache.traveller import CacheStatsTotal
 
 if TYPE_CHECKING:  # import cycle: telemetry is run-time independent
+    from repro.faults.schedule import ResilienceStats
     from repro.telemetry import TelemetrySummary
 
 
@@ -47,6 +48,10 @@ class RunResult:
     #: Populated only when the run was instrumented (see
     #: :mod:`repro.telemetry`); excluded from sweep-cache JSON.
     telemetry: Optional["TelemetrySummary"] = None
+    #: Populated only when the run carried a fault schedule (see
+    #: :mod:`repro.faults`); serialized to the sweep cache, but absent
+    #: from fault-free JSON so healthy entries stay byte-identical.
+    resilience: Optional["ResilienceStats"] = None
 
     # ------------------------------------------------------------------
     # derived metrics

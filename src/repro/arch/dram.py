@@ -11,6 +11,9 @@ latencies and energies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 from repro.config import MemoryConfig
 
@@ -48,19 +51,42 @@ class DramStats:
 
 
 class DramChannel:
-    """Analytic timing/energy model shared by all units (stateless)."""
+    """Analytic timing/energy model shared by all units.
+
+    Stateless on the healthy path; the fault subsystem can attach a
+    per-unit latency multiplier (vault latency spikes) via
+    :meth:`set_unit_latency_scale`.
+    """
 
     def __init__(self, config: MemoryConfig):
         config.validate()
         self.config = config
+        #: per-unit latency multiplier while vault faults are active.
+        self._latency_scale: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # timing
     # ------------------------------------------------------------------
     @property
     def access_latency_ns(self) -> float:
-        """Latency of one random cacheline access."""
+        """Latency of one random cacheline access (healthy vault)."""
         return self.config.access_latency_ns
+
+    def set_unit_latency_scale(self, scale: Optional[np.ndarray]) -> None:
+        """Attach (or clear, with ``None``) per-unit latency multipliers.
+
+        ``scale[u]`` scales every access served by unit ``u``'s channel;
+        a vector of ones is treated as healthy and dropped.
+        """
+        if scale is not None and np.all(scale == 1.0):
+            scale = None
+        self._latency_scale = scale
+
+    def access_latency_at(self, unit: int) -> float:
+        """Latency of one random access served by ``unit``'s channel."""
+        if self._latency_scale is None:
+            return self.config.access_latency_ns
+        return self.config.access_latency_ns * float(self._latency_scale[unit])
 
     @property
     def row_hit_latency_ns(self) -> float:

@@ -14,13 +14,20 @@ the same metric.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.topology import Topology
 from repro.config import MemoryConfig, NocConfig
+
+
+def _norm_link(link: Tuple[int, int]) -> Tuple[int, int]:
+    """Canonical (a, b) form of an undirected mesh link."""
+    a, b = int(link[0]), int(link[1])
+    return (a, b) if a <= b else (b, a)
 
 
 class AccessClass(enum.Enum):
@@ -89,11 +96,13 @@ class LinkMeter:
         self.unit_bits = np.zeros((n, n), dtype=np.int64)
         #: (src_stack, dst_stack) adjacent pair -> flits carried.
         self.link_flits: Dict[Tuple[int, int], int] = {}
-        # (row, col) -> stack id, for walking XY routes.
-        self._stack_at = {
-            topology.stack_coords(s): s
-            for s in range(topology.num_stacks)
-        }
+        #: fault-aware route provider, set by the interconnect while
+        #: link faults are active: ``router(s_src, s_dst)`` returns the
+        #: stack sequence (endpoints included) or None when the pair is
+        #: unreachable.  With no router, routes are dimension-ordered XY.
+        self.router: Optional[
+            Callable[[int, int], Optional[Tuple[int, ...]]]
+        ] = None
 
     # ------------------------------------------------------------------
     def record(self, src: int, dst: int, bits: int) -> None:
@@ -104,6 +113,16 @@ class LinkMeter:
         if s_src == s_dst:
             return
         flits = max(1, -(-bits // self.FLIT_BITS))  # ceil division
+        if self.router is not None:
+            # Faulted mesh: attribute along the actual (rerouted) path,
+            # so dead links never accumulate flits.
+            path = self.router(s_src, s_dst)
+            if path is None:
+                return  # unreachable: no flits travelled
+            for here, nxt in zip(path, path[1:]):
+                key = (here, nxt)
+                self.link_flits[key] = self.link_flits.get(key, 0) + flits
+            return
         r, c = topo.stack_coords(s_src)
         r_dst, c_dst = topo.stack_coords(s_dst)
         here = s_src
@@ -112,7 +131,7 @@ class LinkMeter:
                 c += 1 if c_dst > c else -1
             else:
                 r += 1 if r_dst > r else -1
-            nxt = self._stack_at[(r, c)]
+            nxt = topo.stack_at(r, c)
             key = (here, nxt)
             self.link_flits[key] = self.link_flits.get(key, 0) + flits
             here = nxt
@@ -153,6 +172,17 @@ class Interconnect:
         self._cost = self._build_cost_matrix()
         #: per-link meter, attached only when telemetry wants it.
         self.link_meter: Optional[LinkMeter] = None
+        # Link-fault state (see set_link_faults).  While inactive the
+        # hot paths pay a single ``is None`` test and behave exactly as
+        # the healthy mesh.
+        self._dead_links: frozenset = frozenset()
+        self._link_scale: Dict[Tuple[int, int], float] = {}
+        #: (S, S) effective mesh hops under faults; -1 = unreachable.
+        self._fault_hops: Optional[np.ndarray] = None
+        #: (S, S) mesh traversal cost/latency (ns) under faults; inf =
+        #: unreachable.  Doubles as the scheduling-cost contribution.
+        self._fault_mesh_ns: Optional[np.ndarray] = None
+        self._fault_routes: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = {}
 
     def _build_cost_matrix(self) -> np.ndarray:
         """(N, N) scheduling distance costs (Equation 2 terms)."""
@@ -176,7 +206,177 @@ class Interconnect:
         """Attach (or return the existing) per-link traffic meter."""
         if self.link_meter is None:
             self.link_meter = LinkMeter(self.topology)
+            if self._fault_hops is not None:
+                self.link_meter.router = self.route_stacks
         return self.link_meter
+
+    # ------------------------------------------------------------------
+    # link faults (fault-injection subsystem)
+    # ------------------------------------------------------------------
+    @property
+    def has_link_faults(self) -> bool:
+        return self._fault_hops is not None
+
+    def set_link_faults(
+        self,
+        dead_links: Iterable[Tuple[int, int]],
+        degraded: Optional[Mapping[Tuple[int, int], float]] = None,
+    ) -> None:
+        """Route around failed mesh links and degrade slow ones.
+
+        ``dead_links`` are undirected adjacent stack pairs removed from
+        the mesh; ``degraded`` maps surviving links to a per-hop latency
+        multiplier.  Routes become minimal paths over the surviving
+        links (the hardware's fallback to non-XY detours); the
+        scheduling cost matrix is rebuilt *in place* so every
+        ``SchedulerContext`` holding a view sees the new distances.
+        Unreachable pairs get infinite cost / -1 hops — callers must
+        check :meth:`is_reachable` before paying latency.
+        """
+        dead = frozenset(_norm_link(lk) for lk in dead_links)
+        scale = {
+            _norm_link(lk): float(f)
+            for lk, f in (degraded or {}).items()
+            if float(f) != 1.0
+        }
+        if not dead and not scale:
+            self.clear_link_faults()
+            return
+        self._dead_links = dead
+        self._link_scale = scale
+        self._fault_hops, self._fault_mesh_ns = self._solve_mesh_routes()
+        self._fault_routes.clear()
+        self._rebuild_cost_in_place()
+        if self.link_meter is not None:
+            self.link_meter.router = self.route_stacks
+
+    def clear_link_faults(self) -> None:
+        """Restore the healthy mesh (all links up, unit multipliers)."""
+        self._dead_links = frozenset()
+        self._link_scale = {}
+        self._fault_hops = None
+        self._fault_mesh_ns = None
+        self._fault_routes.clear()
+        self._rebuild_cost_in_place()
+        if self.link_meter is not None:
+            self.link_meter.router = None
+
+    def _link_weight_ns(self, a: int, b: int) -> float:
+        """Latency of one mesh hop over the (surviving) link (a, b)."""
+        return self.noc.inter_hop_ns * self._link_scale.get(
+            _norm_link((a, b)), 1.0
+        )
+
+    def _solve_mesh_routes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All-pairs shortest paths over the surviving weighted links.
+
+        Returns ``(hops, mesh_ns)`` stack-level matrices.  Meshes are
+        tiny (S <= a few hundred), so a per-source Dijkstra is plenty.
+        """
+        topo = self.topology
+        S = topo.num_stacks
+        hops = np.full((S, S), -1, dtype=np.int64)
+        mesh_ns = np.full((S, S), np.inf, dtype=np.float64)
+        alive_neighbors: List[List[int]] = [
+            [
+                n for n in topo.adjacent_stacks(s)
+                if _norm_link((s, n)) not in self._dead_links
+            ]
+            for s in range(S)
+        ]
+        for src in range(S):
+            dist = np.full(S, np.inf)
+            nhops = np.full(S, -1, dtype=np.int64)
+            dist[src] = 0.0
+            nhops[src] = 0
+            heap = [(0.0, src)]
+            while heap:
+                d, here = heapq.heappop(heap)
+                if d > dist[here]:
+                    continue
+                for nxt in alive_neighbors[here]:
+                    nd = d + self._link_weight_ns(here, nxt)
+                    if nd < dist[nxt] - 1e-12:
+                        dist[nxt] = nd
+                        nhops[nxt] = nhops[here] + 1
+                        heapq.heappush(heap, (nd, nxt))
+            hops[src] = nhops
+            mesh_ns[src] = dist
+        return hops, mesh_ns
+
+    def route_stacks(self, s_src: int, s_dst: int) -> Optional[Tuple[int, ...]]:
+        """The stack sequence a message follows under the current faults
+        (endpoints included), or None when ``s_dst`` is unreachable.
+
+        Only meaningful while link faults are active; the healthy mesh
+        routes XY and callers (the link meter) use the XY walk directly.
+        """
+        if s_src == s_dst:
+            return (s_src,)
+        key = (s_src, s_dst)
+        cached = self._fault_routes.get(key, False)
+        if cached is not False:
+            return cached
+        mesh_ns = self._fault_mesh_ns
+        route: Optional[Tuple[int, ...]] = None
+        if mesh_ns is not None and np.isfinite(mesh_ns[s_src, s_dst]):
+            # Walk greedily from dst back to src along optimal-distance
+            # predecessors (dist[src, prev] + w(prev, here) == dist[src, here]).
+            topo = self.topology
+            path = [s_dst]
+            here = s_dst
+            while here != s_src:
+                for prev in topo.adjacent_stacks(here):
+                    if _norm_link((prev, here)) in self._dead_links:
+                        continue
+                    if abs(
+                        mesh_ns[s_src, prev]
+                        + self._link_weight_ns(prev, here)
+                        - mesh_ns[s_src, here]
+                    ) < 1e-9:
+                        path.append(prev)
+                        here = prev
+                        break
+                else:  # pragma: no cover - dijkstra guarantees a predecessor
+                    path = None
+                    break
+            if path is not None:
+                route = tuple(reversed(path))
+        self._fault_routes[key] = route
+        return route
+
+    def is_reachable(self, src: int, dst: int) -> bool:
+        """Whether a message can currently travel between two units."""
+        if self._fault_hops is None:
+            return True
+        s_src, s_dst = self.topology.stack_of(src), self.topology.stack_of(dst)
+        return bool(self._fault_hops[s_src, s_dst] >= 0)
+
+    def effective_hops(self, src: int, dst: int) -> int:
+        """Mesh hops between units under the current faults (-1 when
+        unreachable); the healthy Manhattan distance otherwise."""
+        if self._fault_hops is None:
+            return self.topology.hops_between(src, dst)
+        s_src, s_dst = self.topology.stack_of(src), self.topology.stack_of(dst)
+        if s_src == s_dst:
+            return 0
+        return int(self._fault_hops[s_src, s_dst])
+
+    def _rebuild_cost_in_place(self) -> None:
+        """Recompute the scheduling cost matrix for the current mesh.
+
+        In place: scheduler contexts hold read-only *views* of this
+        array, so mutating the buffer updates every policy's scores.
+        """
+        topo = self.topology
+        fresh = self._build_cost_matrix()
+        if self._fault_mesh_ns is not None:
+            mesh = self._fault_mesh_ns[
+                np.ix_(topo.stack_of_unit, topo.stack_of_unit)
+            ]
+            inter = ~topo.same_stack
+            fresh[inter] = mesh[inter]
+        self._cost[...] = fresh
 
     # ------------------------------------------------------------------
     # classification
@@ -206,6 +406,15 @@ class Interconnect:
             return 0.0
         if self.topology.is_intra_stack(src, dst):
             return self.noc.intra_hop_ns
+        if self._fault_mesh_ns is not None:
+            s_src = self.topology.stack_of(src)
+            s_dst = self.topology.stack_of(dst)
+            # inf for unreachable pairs: callers must guard with
+            # is_reachable() before paying latency.
+            return (
+                2 * self.noc.intra_hop_ns
+                + float(self._fault_mesh_ns[s_src, s_dst])
+            )
         hops = self.topology.hops_between(src, dst)
         return 2 * self.noc.intra_hop_ns + hops * self.noc.inter_hop_ns
 
@@ -236,7 +445,12 @@ class Interconnect:
             meter.intra_transfers += 1
             meter.intra_bits += bits
             return
-        hops = self.topology.hops_between(src, dst)
+        hops = self.effective_hops(src, dst)
+        if hops < 0:
+            # Unreachable under the current link faults: the message is
+            # never delivered, so no mesh traffic accrues.  Callers
+            # short-circuit such accesses before simulating latency.
+            return
         meter.inter_hops += hops
         meter.inter_bits += bits * hops
         # Mesh endpoints also cross the two stack crossbars.

@@ -66,6 +66,11 @@ class Topology:
              for s in range(self.num_stacks)],
             dtype=np.int64,
         )
+        # (row, col) -> stack id, for walking routes over the mesh.
+        self._stack_at: Dict[Tuple[int, int], int] = {
+            (int(r), int(c)): s
+            for s, (r, c) in enumerate(self._stack_coords)
+        }
 
         # Morton-ordered stack sequence -> localized group chunks.
         order = sorted(
@@ -116,6 +121,30 @@ class Topology:
         """(row, col) mesh coordinates of ``stack``."""
         r, c = self._stack_coords[stack]
         return int(r), int(c)
+
+    def stack_at(self, row: int, col: int) -> int:
+        """Stack id at mesh coordinates ``(row, col)``."""
+        return self._stack_at[(row, col)]
+
+    def adjacent_stacks(self, stack: int) -> List[int]:
+        """Mesh neighbours of ``stack`` (one hop away), in N/S/W/E order."""
+        r, c = self.stack_coords(stack)
+        out: List[int] = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            s = self._stack_at.get((r + dr, c + dc))
+            if s is not None:
+                out.append(s)
+        return out
+
+    def mesh_links(self) -> List[Tuple[int, int]]:
+        """All physical mesh links as undirected ``(a, b)`` stack pairs
+        with ``a < b`` — the targets a link-fault schedule may name."""
+        links: List[Tuple[int, int]] = []
+        for s in range(self.num_stacks):
+            for n in self.adjacent_stacks(s):
+                if s < n:
+                    links.append((s, n))
+        return links
 
     @property
     def stack_of_unit(self) -> np.ndarray:

@@ -10,6 +10,8 @@
     python -m repro sweep                    # the same matrix, parallel +
                                              # cached + sweep_results.json
     python -m repro sweep alpha -w pr        # a Section 7.2 parameter sweep
+    python -m repro faults O pr --units 4    # resilience campaign under
+                                             # injected failures
 
 Every simulation routes through the content-addressed result cache in
 ``.repro_cache/`` (``--no-cache`` bypasses it); grid commands fan out
@@ -315,6 +317,69 @@ def cmd_sweep_matrix(args) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_faults(args) -> int:
+    """``python -m repro faults O pr --units 4 --links 2``: a resilience
+    campaign — one healthy reference plus one faulted run per schedule,
+    all through the sweep engine."""
+    from repro.arch.topology import Topology
+    from repro.faults import (FaultSchedule, make_random_schedule,
+                              run_fault_campaign)
+
+    cfg = _config_from_args(args)
+    schedules: Dict[str, FaultSchedule] = {}
+    for path in args.schedule or []:
+        schedules[path] = FaultSchedule.load(path)
+    if args.units or args.links or args.vaults:
+        topo = Topology(cfg.topology, num_groups=cfg.cache.num_groups())
+        seed = args.seed if args.seed is not None else cfg.seed
+        label = (f"seed{seed}:u{args.units}"
+                 f"+l{args.links}+v{args.vaults}")
+        schedules[label] = make_random_schedule(
+            topo.num_units, topo.mesh_links(),
+            unit_fails=args.units, link_fails=args.links,
+            vault_slowdowns=args.vaults, seed=seed,
+        )
+    if not schedules:
+        print("error: give --schedule FILE and/or --units/--links/--vaults",
+              file=sys.stderr)
+        return 2
+
+    if args.dump_schedule:
+        next(iter(schedules.values())).dump(args.dump_schedule)
+        print(f"wrote {args.dump_schedule}")
+
+    campaign = run_fault_campaign(
+        args.design, args.workload, schedules, config=cfg,
+        cache=_cache_from_args(args), jobs=args.jobs,
+        progress=lambda msg: print(msg, flush=True),
+    )
+
+    header = (f"{'schedule':24} {'makespan':>14} {'slowdn':>7} {'lost':>5} "
+              f"{'reexec':>7} {'unreach':>8} {'recov_cyc':>10}")
+    print(header)
+    print("-" * len(header))
+    print(f"{'healthy':24} {campaign.healthy.makespan_cycles:14,.0f} "
+          f"{1.0:7.2f} {0:5} {'-':>7} {'-':>8} {'-':>10}")
+    lost_any = False
+    for label, r in campaign.faulted.items():
+        lost = campaign.lost_tasks(label)
+        lost_any = lost_any or lost != 0
+        res = r.resilience
+        print(f"{label[:24]:24} {r.makespan_cycles:14,.0f} "
+              f"{campaign.slowdown(label):7.2f} {lost:5} "
+              f"{res.tasks_reexecuted:7} {res.unreachable_accesses:8} "
+              f"{res.recovery_cycles:10,.0f}")
+    for label in campaign.failures:
+        print(f"FAILED {label}", file=sys.stderr)
+    if lost_any:
+        print("error: tasks were lost under faults", file=sys.stderr)
+    else:
+        print(f"\nzero lost tasks across {len(campaign.faulted)} "
+              f"faulted run(s)")
+    _export(args, [campaign.healthy, *campaign.faulted.values()])
+    return 1 if (lost_any or campaign.failures) else 0
+
+
 def cmd_sweep(args) -> int:
     if args.parameter is None:
         return cmd_sweep_matrix(args)
@@ -415,6 +480,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="all designs x all workloads"),
                workload=False)
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="resilience campaign: healthy reference vs runs under "
+             "injected unit/link/vault faults",
+    )
+    p_faults.add_argument("design", choices=list(repro.ALL_DESIGNS))
+    p_faults.add_argument("workload",
+                          choices=sorted(repro.WORKLOAD_FACTORIES))
+    p_faults.add_argument("--schedule", action="append", metavar="FILE",
+                          help="fault schedule JSON (repeatable; see "
+                               "FaultSchedule.dump)")
+    p_faults.add_argument("--units", type=int, default=0,
+                          help="random permanent NDP-unit failures")
+    p_faults.add_argument("--links", type=int, default=0,
+                          help="random permanent NoC link failures")
+    p_faults.add_argument("--vaults", type=int, default=0,
+                          help="random DRAM-vault latency slowdowns")
+    p_faults.add_argument("--seed", type=int, default=None,
+                          help="fault-stream seed (default: config seed)")
+    p_faults.add_argument("--dump-schedule", metavar="PATH",
+                          help="write the generated schedule to a JSON file")
+    add_common(p_faults, workload=False)
+
     p_sweep = sub.add_parser(
         "sweep",
         help="the full design x workload matrix (no argument; parallel, "
@@ -441,6 +529,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "compare": cmd_compare,
     "matrix": cmd_matrix,
+    "faults": cmd_faults,
     "sweep": cmd_sweep,
 }
 

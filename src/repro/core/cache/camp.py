@@ -94,6 +94,8 @@ class CampMapper:
         #   line -> (nearest unit per requester, is-home flag per
         #            requester, distance-to-nearest per unit)
         self._nearest_cache: dict = {}
+        # Unit liveness under faults; None while every unit is healthy.
+        self._alive: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # scalar interface
@@ -107,17 +109,45 @@ class CampMapper:
     def home_unit(self, line: int) -> int:
         return self.memory_map.home_of_line(line)
 
+    def set_alive_mask(self, alive: "np.ndarray | None") -> int:
+        """Remap camps around dead units (fault-injection subsystem).
+
+        A group whose designated camp unit died re-elects the next unit
+        of the same group by linear probing from the hash slot, keeping
+        the choice deterministic; a fully dead group contributes no camp
+        (sentinel ``-1`` in :meth:`locations`).  Drops every memoized
+        table — the mapping changed.  Returns the number of memo entries
+        dropped.  ``None`` (or an all-True mask) restores healthy
+        mapping.
+        """
+        if alive is not None and bool(np.all(alive)):
+            alive = None
+        dropped = len(self._loc_cache)
+        self._alive = alive
+        self.clear_cache()
+        return dropped
+
     def camp_in_group(self, line: int, group: int) -> int:
         """The single unit in ``group`` allowed to cache ``line``.
 
         If ``group`` is the home's group this *is* the home unit — the
         group contributes the memory location itself, not a cache copy.
+        Under faults a dead camp is re-elected by probing within the
+        group; ``-1`` means the whole group is dead.
         """
         home = self.home_unit(line)
         if self.topology.group_of(home) == group:
             return home
         h = ((line * self._multipliers[group]) & _MASK64) >> 48
-        return group * self.units_per_group + int(h % self.units_per_group)
+        base = group * self.units_per_group
+        slot = int(h % self.units_per_group)
+        if self._alive is None:
+            return base + slot
+        for off in range(self.units_per_group):
+            unit = base + (slot + off) % self.units_per_group
+            if self._alive[unit]:
+                return unit
+        return -1
 
     def locations(self, line: int) -> np.ndarray:
         """All allowed locations of ``line``: one unit per group.
@@ -137,12 +167,13 @@ class CampMapper:
         return locs
 
     def camp_locations(self, line: int) -> List[int]:
-        """Only the C cache-capable camps (home excluded)."""
+        """Only the C cache-capable camps (home excluded; dead groups'
+        ``-1`` sentinels dropped)."""
         home = self.home_unit(line)
         home_group = self.topology.group_of(home)
         return [
             int(u) for g, u in enumerate(self.locations(line))
-            if g != home_group
+            if g != home_group and u >= 0
         ]
 
     def set_index(self, line: int) -> int:
@@ -161,6 +192,10 @@ class CampMapper:
         if cached is not None:
             return cached
         locs = self.locations(line)
+        if self._alive is not None:
+            valid = locs[locs >= 0]
+            if valid.size < locs.size:
+                locs = valid  # dead groups contribute no location
         costs = cost_matrix[:, locs]                 # (N, G)
         idx = np.argmin(costs, axis=1)               # (N,)
         nearest = locs[idx]

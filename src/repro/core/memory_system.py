@@ -74,6 +74,9 @@ class MemorySystem:
         self.traffic = TrafficMeter()
         self.dram_stats = DramStats()
         self.sram_stats = SramStats()
+        # Fault state, attached by the FaultController when active.
+        self._alive: Optional[np.ndarray] = None
+        self._resilience = None  # faults.ResilienceStats, duck-typed
         # Per-unit DRAM channel service clock (absolute ns).
         self._dram_free_ns = np.zeros(config.num_units, dtype=np.float64)
         # Total queuing delay observed (diagnostics / tests).
@@ -117,6 +120,58 @@ class MemorySystem:
         return delay
 
     # ------------------------------------------------------------------
+    # fault hooks
+    # ------------------------------------------------------------------
+    def set_fault_state(self, alive_mask: Optional[np.ndarray],
+                        stats) -> None:
+        """Attach the controller's alive mask and resilience counters.
+
+        ``alive_mask=None`` restores healthy behavior; ``stats`` only
+        needs an ``unreachable_accesses`` attribute (duck-typed so the
+        arch layer stays ignorant of the faults package).
+        """
+        self._alive = alive_mask
+        self._resilience = stats
+
+    def invalidate_units(self, units: Sequence[int]) -> int:
+        """Bulk-invalidate the caches of failed units.
+
+        A dead unit's cache region is gone with it: its lines are
+        unreachable until the barrier would have cleared them anyway.
+        Returns the number of lines dropped (for resilience metrics).
+        """
+        dropped = 0
+        for u in units:
+            cache = self.caches[u]
+            if cache is not None:
+                dropped += cache.occupancy()
+                cache.bulk_invalidate()
+                # Not a barrier round: don't let fault invalidations
+                # skew the per-timestamp invalidation statistics.
+                cache.stats.invalidation_rounds -= 1
+        return dropped
+
+    def _unreachable(self, requester: int, home: int) -> bool:
+        """The home memory cannot currently serve this requester."""
+        if self._alive is not None and not self._alive[home]:
+            return True
+        return not self.interconnect.is_reachable(requester, home)
+
+    def _unreachable_penalty_ns(self) -> float:
+        """Latency charged for an access that cannot be served.
+
+        Models a timeout/NACK detour: a worst-case round trip across
+        the mesh diameter plus one wasted DRAM access window.  The line
+        is *not* installed anywhere and no traffic or DRAM energy is
+        booked — the data never moved.
+        """
+        mesh = self.interconnect.noc
+        diameter_ns = 2.0 * mesh.intra_hop_ns + (
+            self.interconnect.topology.diameter * mesh.inter_hop_ns
+        )
+        return 2.0 * diameter_ns + self.dram.access_latency_ns
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def access(self, requester: int, line: int, now_ns: float = 0.0) -> float:
@@ -135,6 +190,14 @@ class MemorySystem:
         if unit.prefetch.lookup(line):
             # Prefetch-buffer hits bypass the L1 (Section 3.2).
             return self.sram.l1_hit_ns
+
+        if self._resilience is not None:
+            home = self.memory_map.home_of_line(line)
+            if self._unreachable(requester, home):
+                # The home vault is dead or partitioned away: the access
+                # times out.  Nothing is cached and no traffic moved.
+                self._resilience.unreachable_accesses += 1
+                return self._unreachable_penalty_ns()
 
         if self.style is CacheStyle.NONE:
             latency = self._direct_home_access(requester, line, now_ns)
@@ -155,7 +218,7 @@ class MemorySystem:
         queue = self._dram_service(home, arrival)
         return (
             noc.round_trip_latency_ns(requester, home)
-            + queue + self.dram.access_latency_ns
+            + queue + self.dram.access_latency_at(home)
         )
 
     def _cached_access(self, requester: int, line: int,
@@ -177,6 +240,13 @@ class MemorySystem:
             return self._direct_home_access(requester, line, now_ns)
 
         assert cache is not None
+        if noc.has_link_faults and not (
+                noc.is_reachable(requester, nearest)
+                and noc.is_reachable(nearest, home)):
+            # Link faults cut off the camp detour: skip straight to the
+            # home (which *is* reachable — access() checked).
+            cache.stats.home_direct += 1
+            return self._direct_home_access(requester, line, now_ns)
         # Request travels to the camp and checks the tags there.
         noc.record_transfer(self.traffic, requester, nearest, _REQUEST_BITS)
         latency = noc.one_way_latency_ns(requester, nearest)
@@ -194,7 +264,7 @@ class MemorySystem:
         latency += noc.one_way_latency_ns(nearest, home)
         self.dram_stats.reads += 1
         latency += self._dram_service(home, now_ns + latency)
-        latency += self.dram.access_latency_ns
+        latency += self.dram.access_latency_at(home)
         noc.record_transfer(self.traffic, home, requester)
         latency += noc.one_way_latency_ns(home, requester)
 
@@ -222,7 +292,7 @@ class MemorySystem:
             latency = 0.0
             for _ in range(n):
                 latency += self._dram_service(camp_unit, now_ns + latency)
-                latency += self.dram.access_latency_ns
+                latency += self.dram.access_latency_at(camp_unit)
             return latency
         self.sram_stats.tag_accesses += 1
         return self.sram.tag_lookup_ns
@@ -236,7 +306,7 @@ class MemorySystem:
             return 0.0
         self.dram_stats.cache_reads += 1
         queue = self._dram_service(camp_unit, now_ns)
-        return queue + self.dram.access_latency_ns
+        return queue + self.dram.access_latency_at(camp_unit)
 
     def _charge_cache_fill(self, camp_unit: int, now_ns: float) -> None:
         if self.style is CacheStyle.SRAM:
@@ -256,6 +326,11 @@ class MemorySystem:
         reads; their traffic and DRAM energy are still charged.
         """
         home = self.memory_map.home_of_line(line)
+        if self._resilience is not None and self._unreachable(requester, home):
+            # Lost store: the home cannot be written right now.  The
+            # write buffer absorbs it, so the task does not stall.
+            self._resilience.unreachable_accesses += 1
+            return 0.0
         self.interconnect.record_transfer(self.traffic, requester, home)
         self.dram_stats.writes += 1
         self._dram_service(home, now_ns, critical=False)

@@ -42,10 +42,35 @@ class SchedulerContext:
     tie_tolerance_ns: float = 5.0
     load_deadband: float = 0.25
     load_floor_cycles: float = 1000.0
+    # Fault state: boolean per-unit liveness, None while every unit is
+    # healthy.  Policies must never place a task on a dead unit.
+    alive_mask: Optional[np.ndarray] = None
 
     @property
     def num_units(self) -> int:
         return self.cost_matrix.shape[0]
+
+    def is_alive(self, unit: int) -> bool:
+        return self.alive_mask is None or bool(self.alive_mask[unit])
+
+    def alive_units(self) -> np.ndarray:
+        """Ids of the units currently able to execute tasks."""
+        if self.alive_mask is None:
+            return np.arange(self.num_units)
+        return np.nonzero(self.alive_mask)[0]
+
+    def nearest_alive(self, unit: int) -> int:
+        """``unit`` itself when alive, else the cheapest live stand-in
+        by distance cost.  Raises when the whole machine is dead."""
+        if self.alive_mask is None or self.alive_mask[unit]:
+            return unit
+        costs = np.where(
+            self.alive_mask, self.cost_matrix[unit], np.inf
+        )
+        best = int(np.argmin(costs))
+        if not np.isfinite(costs[best]):
+            raise RuntimeError("no alive NDP unit left to run tasks")
+        return best
 
     def task_workload(self, task: Task, unit: int) -> float:
         """The load value booked into W_u when ``task`` enqueues at
@@ -158,5 +183,6 @@ class Scheduler(abc.ABC):
         )
 
     def _fallback_unit(self, task: Task) -> int:
-        """Where a hint-less task runs: where it was spawned."""
-        return task.spawner_unit
+        """Where a hint-less task runs: where it was spawned, or the
+        nearest live unit when the spawner has failed."""
+        return self.context.nearest_alive(task.spawner_unit)

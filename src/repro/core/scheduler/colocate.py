@@ -22,7 +22,11 @@ class ColocateScheduler(Scheduler):
             unit = self._fallback_unit(task)
         else:
             main_addr = int(task.hint.addresses[0])
-            unit = self.context.memory_map.home_unit(main_addr)
+            # nearest_alive: the baseline has no placement freedom, so a
+            # dead home simply redirects to the closest surviving unit.
+            unit = self.context.nearest_alive(
+                self.context.memory_map.home_unit(main_addr)
+            )
         if self.telemetry.enabled:
             self._record_decision(task, unit)
         return unit

@@ -68,7 +68,14 @@ class HybridScheduler(Scheduler):
         self.load_floor_cycles = context.load_floor_cycles
 
     def _pick(self, scores: np.ndarray, task: Task) -> int:
+        alive = self.context.alive_mask
+        if alive is not None:
+            scores = np.where(alive, scores, np.inf)
         best = scores.min()
+        if not np.isfinite(best):
+            # All units dead (raises below) or the hint data sits across
+            # a mesh partition from every live unit: stay by the spawner.
+            return self.context.nearest_alive(task.spawner_unit)
         near = np.nonzero(scores <= best + self.tie_tolerance_ns)[0]
         if len(near) == 1:
             return int(near[0])

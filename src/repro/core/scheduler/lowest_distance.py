@@ -49,6 +49,12 @@ class LowestDistanceScheduler(Scheduler):
         lines = ctx.hint_lines(task)
         homes = ctx.memory_map.homes_of_lines(lines)
         candidates = np.unique(homes)
+        if ctx.alive_mask is not None:
+            candidates = candidates[ctx.alive_mask[candidates]]
+            if candidates.size == 0:
+                # Every data home is dead: fall back to the live unit
+                # with the lowest mean distance to the hint set.
+                candidates = ctx.alive_units()
         # Mean distance from each candidate to every hint element.
         dists = ctx.cost_matrix[np.ix_(candidates, homes)].mean(axis=1)
         best_cost = dists.min()

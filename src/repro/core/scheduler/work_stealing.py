@@ -47,6 +47,7 @@ def rebalance_by_stealing(
     steal_overhead: float = 200.0,
     max_steals: Optional[int] = None,
     on_move: Optional[Callable[[Task, int, int, float, float], None]] = None,
+    eligible: Optional[np.ndarray] = None,
 ) -> int:
     """Greedy steal pass: move queue tails from busiest to idlest units.
 
@@ -56,10 +57,17 @@ def rebalance_by_stealing(
     task's ``assigned_unit`` is updated.  ``on_move(task, victim,
     thief, old_estimate, new_estimate)`` lets the caller keep external
     bookkeeping (the W counters) consistent with each move.
+    ``eligible`` (boolean per unit) restricts both victims and thieves
+    — dead units neither give up nor receive tasks.
     """
     n = len(tasks_by_unit)
     if n < 2:
         return 0
+    if eligible is not None and eligible.sum() < 2:
+        return 0  # nobody to trade with
+    blocked = (
+        np.zeros(n, dtype=bool) if eligible is None else ~eligible
+    )
 
     # Cache each task's duration estimate at its current unit.
     est_cache = {}
@@ -82,9 +90,9 @@ def rebalance_by_stealing(
     masked = np.empty(n, dtype=np.float64)
     while steals < max_steals:
         masked[:] = loads
-        masked[exhausted] = -np.inf
+        masked[exhausted | blocked] = -np.inf
         victim = int(np.argmax(masked))
-        thief = int(np.argmin(loads))
+        thief = int(np.argmin(np.where(blocked, np.inf, loads)))
         if not np.isfinite(masked[victim]):
             break  # every victim exhausted
         if victim == thief or len(tasks_by_unit[victim]) <= cores_per_unit:

@@ -116,6 +116,7 @@ class NdpSystem:
         config: SystemConfig,
         design_name: str = "O",
         telemetry: Optional[Telemetry] = None,
+        fault_schedule=None,
     ):
         config.validate()
         self.config = config
@@ -183,6 +184,27 @@ class NdpSystem:
         self.energy_model = EnergyModel(
             config, self.interconnect, self.dram, self.sram
         )
+
+        # Fault-injection subsystem: only a non-empty schedule pays any
+        # cost — without one the machine is byte-identical to a build
+        # that never heard of faults.
+        self.fault_controller = None
+        if fault_schedule:
+            from repro.faults.controller import FaultController
+
+            self.fault_controller = FaultController(
+                schedule=fault_schedule,
+                seed=config.seed,
+                num_units=config.num_units,
+                interconnect=self.interconnect,
+                dram=self.dram,
+                memory_system=self.memory_system,
+                context=context,
+                camp_mapper=self.camp_mapper,
+                telemetry=self.telemetry,
+            )
+            self.executor.faults = self.fault_controller
+
         if self.telemetry.enabled:
             self._register_telemetry()
 
@@ -265,6 +287,18 @@ class NdpSystem:
             camp = reg.scope("camp")
             camp.register_pull(
                 "memo_lines", lambda: self.camp_mapper.memo_entries
+            )
+        if self.fault_controller is not None:
+            import dataclasses as _dc2
+
+            fc = self.fault_controller
+            faults = reg.scope("faults")
+            for f in _dc2.fields(fc.stats):
+                faults.register_pull(
+                    f.name, lambda n=f.name: getattr(fc.stats, n)
+                )
+            faults.register_pull(
+                "alive_units", lambda: int(fc.alive.sum())
             )
 
         # Time-series probes, sampled at timestamp barriers.
@@ -357,6 +391,10 @@ class NdpSystem:
             steals=trace.steals,
             instructions=trace.instructions,
             telemetry=telemetry,
+            resilience=(
+                self.fault_controller.stats
+                if self.fault_controller is not None else None
+            ),
         )
 
 
@@ -364,13 +402,16 @@ def build_system(
     design: str = "O",
     config: Optional[SystemConfig] = None,
     telemetry: Optional[Telemetry] = None,
+    fault_schedule=None,
 ) -> NdpSystem:
     """Assemble the machine for one Table 2 design point.
 
     ``config`` defaults to the paper's Table 1 system; the design's
     policy and cache style override the corresponding config fields.
     Pass a :class:`~repro.telemetry.Telemetry` to instrument the run
-    (omitted = the zero-overhead null sink).
+    (omitted = the zero-overhead null sink), and/or a
+    :class:`~repro.faults.FaultSchedule` to exercise the machine under
+    failures.
     """
     if design not in DESIGN_POINTS:
         raise KeyError(
@@ -378,4 +419,5 @@ def build_system(
         )
     base = config if config is not None else default_config()
     cfg = _apply_design(base, DESIGN_POINTS[design])
-    return NdpSystem(cfg, design_name=design, telemetry=telemetry)
+    return NdpSystem(cfg, design_name=design, telemetry=telemetry,
+                     fault_schedule=fault_schedule)

@@ -65,6 +65,9 @@ class ExecutionTrace:
     tasks_executed: int = 0
     steals: int = 0
     instructions: float = 0.0
+    # Cycles spent detecting faults and re-placing stranded tasks
+    # (included in makespan_cycles; zero on healthy runs).
+    recovery_cycles: float = 0.0
     # Per-phase makespans, for inspection.
     phase_makespans: List[float] = field(default_factory=list)
 
@@ -107,6 +110,9 @@ class BulkSyncExecutor:
         self._issue_spread_cap_ns = 300.0
         # Optional per-task tracing (see repro.runtime.trace).
         self.recorder = None
+        # Fault controller (repro.faults), attached by NdpSystem when a
+        # schedule is configured; None keeps the healthy fast path.
+        self.faults = None
         # Telemetry sink; NdpSystem swaps in a live one when enabled.
         # Per-phase hooks guard on .enabled, so the disabled path costs
         # one attribute check per phase.
@@ -152,6 +158,19 @@ class BulkSyncExecutor:
                 break
             ts = min(pending)
             last_ts = ts
+            if self.faults is not None:
+                # Faults strike at phase boundaries (bulk-synchronous
+                # semantics): apply due events, re-place every task
+                # stranded on a failed unit, and charge the detection +
+                # reassignment overhead to the run clock.
+                recovery = self.faults.on_phase_start(
+                    ts, clock,
+                    lambda dead: self._reassign_stranded(pending, dead),
+                )
+                if recovery:
+                    clock += recovery
+                    trace.makespan_cycles += recovery
+                    trace.recovery_cycles += recovery
             tasks = pending.pop(ts)
 
             by_unit = self._group_by_unit(tasks)
@@ -226,6 +245,36 @@ class BulkSyncExecutor:
                 self.exchange.advance(clock)
         return clock
 
+    def _reassign_stranded(self, pending: Dict[int, List[Task]],
+                           dead_units: Sequence[int]) -> int:
+        """Re-place every queued task assigned to a newly dead unit.
+
+        The scheduler (whose context already sees the updated alive
+        mask) picks a surviving unit; the W counters move with the
+        task.  Returns the number of tasks re-placed — this is the "no
+        task is ever lost" guarantee.
+        """
+        dead = {int(u) for u in dead_units}
+        if not dead:
+            return 0
+        ctx = self.scheduler.context
+        moved = 0
+        for tasks in pending.values():
+            for task in tasks:
+                if task.assigned_unit not in dead:
+                    continue
+                if task.booked_workload:
+                    self.exchange.on_dequeue(
+                        task.assigned_unit, task.booked_workload
+                    )
+                unit = self.scheduler.choose_unit(task)
+                task.assigned_unit = unit
+                workload = ctx.task_workload(task, unit)
+                task.booked_workload = workload
+                self.exchange.on_enqueue(unit, workload)
+                moved += 1
+        return moved
+
     def _group_by_unit(self, tasks: Sequence[Task]) -> List[List[Task]]:
         by_unit: List[List[Task]] = [[] for _ in range(self.config.num_units)]
         for task in tasks:
@@ -248,7 +297,15 @@ class BulkSyncExecutor:
             self.config.core.cores_per_unit,
             steal_overhead=self._steal_overhead,
             on_move=self._account_move,
+            eligible=self._eligible_units(),
         )
+
+    def _eligible_units(self):
+        """Units the rebalancing passes may trade tasks with (None when
+        every unit is alive)."""
+        if self.faults is None:
+            return None
+        return self.faults.eligible_mask()
 
     def _account_move(self, task: Task, victim: int, thief: int,
                       old_est: float, new_est: float) -> None:
@@ -285,6 +342,7 @@ class BulkSyncExecutor:
             self.config.core.cores_per_unit,
             steal_overhead=self._steal_overhead,
             on_move=self._account_move,
+            eligible=self._eligible_units(),
         )
 
     # ------------------------------------------------------------------

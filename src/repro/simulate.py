@@ -43,6 +43,7 @@ def simulate(
     config: Optional[SystemConfig] = None,
     verify: bool = False,
     telemetry: Optional[Telemetry] = None,
+    fault_schedule=None,
     **workload_kwargs,
 ) -> RunResult:
     """Run one (design, workload) pair and return its metrics.
@@ -60,11 +61,16 @@ def simulate(
     Pass a :class:`~repro.telemetry.Telemetry` to instrument the run:
     the returned result then carries a ``telemetry`` summary and the
     Telemetry object itself holds the full timeline/series for export.
+
+    Pass a :class:`~repro.faults.FaultSchedule` to run the machine
+    under injected failures; the result then carries ``resilience``
+    counters.
     """
     wl = _resolve_workload(workload, **workload_kwargs)
     if config is None:
         config = experiment_config()
-    system = build_system(design, config, telemetry=telemetry)
+    system = build_system(design, config, telemetry=telemetry,
+                          fault_schedule=fault_schedule)
     return system.run(wl, verify=verify)
 
 

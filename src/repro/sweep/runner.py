@@ -41,23 +41,34 @@ ProgressFn = Callable[[str], None]
 CacheLike = Union[ResultCache, bool, str, None]
 
 
-def _live_simulate(design: str, workload, config, telemetry=None) -> RunResult:
+def _live_simulate(design: str, workload, config, telemetry=None,
+                   fault_schedule=None) -> RunResult:
     """The uncached simulation call (module-level so tests can stub it
     with a counting fake and workers can resolve it after a fork)."""
     from repro.simulate import simulate
 
+    if fault_schedule:
+        return simulate(design, workload, config, telemetry=telemetry,
+                        fault_schedule=fault_schedule)
     return simulate(design, workload, config, telemetry=telemetry)
 
 
 def _point_key(
     design: str, workload, config: SystemConfig,
     cache: Optional[ResultCache],
+    fault_schedule=None,
 ) -> Optional[str]:
-    """Run key for one point, or None when uncacheable."""
+    """Run key for one point, or None when uncacheable.
+
+    A non-empty fault schedule joins the key through the generic
+    ``extra`` payload; fault-free points keep the exact key they had
+    before the fault subsystem existed.
+    """
     if cache is None:
         return None
+    extra = {"faults": fault_schedule} if fault_schedule else None
     try:
-        return run_key(design, workload, config)
+        return run_key(design, workload, config, extra=extra)
     except UncacheableError:
         cache.stats.uncacheable += 1
         return None
@@ -69,6 +80,7 @@ def cached_simulate(
     config: Optional[SystemConfig] = None,
     cache: CacheLike = "default",
     telemetry=None,
+    fault_schedule=None,
     **workload_kwargs,
 ) -> RunResult:
     """Simulate one point through the result cache.
@@ -90,13 +102,15 @@ def cached_simulate(
     live_tel = telemetry if telemetry is not None and telemetry.enabled \
         else None
     store = resolve_cache(cache)
-    key = _point_key(design, workload, config, store)
+    key = _point_key(design, workload, config, store,
+                     fault_schedule=fault_schedule)
     if key is not None and live_tel is None:
         hit = store.load(key)
         if hit is not None:
             return hit
-    if live_tel is not None:
-        result = _live_simulate(design, workload, config, telemetry=live_tel)
+    if live_tel is not None or fault_schedule:
+        result = _live_simulate(design, workload, config, telemetry=live_tel,
+                                fault_schedule=fault_schedule)
     else:
         # positional-only call keeps older _live_simulate stubs working
         result = _live_simulate(design, workload, config)
@@ -122,6 +136,8 @@ class SweepPoint:
     config: Optional[SystemConfig] = None
     workload_kwargs: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    #: optional repro.faults.FaultSchedule; joins the point's run key.
+    fault_schedule: Any = None
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -199,14 +215,15 @@ def _worker(payload: Tuple) -> Tuple[int, Optional[Dict], Optional[str], float]:
     exactly one of result/error is set.  Never raises: a crashing
     point is reported, not fatal.
     """
-    idx, design, wl_spec, config = payload
+    idx, design, wl_spec, config, fault_schedule = payload
     t0 = time.time()
     try:
         if wl_spec[0] == "factory":
             workload = make_workload(wl_spec[1], **wl_spec[2])
         else:
             workload = wl_spec[1]
-        result = _live_simulate(design, workload, config)
+        result = _live_simulate(design, workload, config,
+                                fault_schedule=fault_schedule)
         return idx, result_to_dict(result), None, time.time() - t0
     except BaseException:
         return idx, None, traceback.format_exc(), time.time() - t0
@@ -217,7 +234,8 @@ def _worker_payload(idx: int, point: SweepPoint) -> Tuple:
         spec = ("factory", point.workload, dict(point.workload_kwargs))
     else:
         spec = ("object", point.workload)
-    return (idx, point.design, spec, point.resolved_config())
+    return (idx, point.design, spec, point.resolved_config(),
+            point.fault_schedule)
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +269,12 @@ class SweepRunner:
             self.progress(msg)
 
     def _run_serial_once(self, point: SweepPoint) -> RunResult:
+        if point.fault_schedule:
+            return _live_simulate(
+                point.design, point.materialize(), point.resolved_config(),
+                fault_schedule=point.fault_schedule,
+            )
+        # positional-only call keeps older _live_simulate stubs working
         return _live_simulate(
             point.design, point.materialize(), point.resolved_config()
         )
@@ -290,7 +314,7 @@ class SweepRunner:
         for i, (point, outcome) in enumerate(zip(points, outcomes)):
             outcome.key = _point_key(
                 point.design, point.workload, point.resolved_config(),
-                self.cache,
+                self.cache, fault_schedule=point.fault_schedule,
             )
             hit = self.cache.load(outcome.key) if outcome.key else None
             if hit is not None:

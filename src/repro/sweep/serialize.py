@@ -51,6 +51,10 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
     }
     for name in _COMPONENTS:
         out[name] = dataclasses.asdict(getattr(result, name))
+    if result.resilience is not None:
+        # Present only for faulted runs — fault-free cache entries must
+        # stay byte-identical to those written before this field existed.
+        out["resilience"] = result.resilience.to_dict()
     return out
 
 
@@ -64,6 +68,11 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
     components = {
         name: cls(**data[name]) for name, cls in _COMPONENTS.items()
     }
+    resilience = None
+    if data.get("resilience") is not None:
+        from repro.faults.schedule import ResilienceStats
+
+        resilience = ResilienceStats.from_dict(data["resilience"])
     return RunResult(
         design=data["design"],
         workload=data["workload"],
@@ -76,5 +85,6 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
         steals=data["steals"],
         instructions=data["instructions"],
         extra=dict(data.get("extra", {})),
+        resilience=resilience,
         **components,
     )

@@ -127,3 +127,107 @@ class TestEnergy:
 
     def test_no_traffic_no_energy(self, noc):
         assert noc.energy_pj(TrafficMeter()) == 0.0
+
+
+class TestLinkFaults:
+    """Fault-injection: rerouting, unreachability, metering, recovery."""
+
+    def _stack_units(self, noc, stack):
+        return [int(u) for u in noc.topology.units_in_stack(stack)]
+
+    def test_healthy_mesh_reports_no_faults(self, noc):
+        assert not noc.has_link_faults
+        assert noc.is_reachable(0, 127)
+        assert noc.effective_hops(0, 127) == noc.topology.hops_between(0, 127)
+
+    def test_dead_link_forces_a_detour(self, noc):
+        u0 = self._stack_units(noc, 0)[0]
+        u1 = self._stack_units(noc, 1)[0]
+        healthy = noc.effective_hops(u0, u1)
+        assert healthy == 1
+        noc.set_link_faults([(0, 1)])
+        assert noc.has_link_faults
+        assert noc.is_reachable(u0, u1)          # detour exists
+        assert noc.effective_hops(u0, u1) == 3   # e.g. 0 -> 4 -> 5 -> 1
+        route = noc.route_stacks(0, 1)
+        assert route[0] == 0 and route[-1] == 1
+        assert (0, 1) not in set(zip(route, route[1:]))
+        assert noc.one_way_latency_ns(u0, u1) == pytest.approx(
+            2 * noc.noc.intra_hop_ns + 3 * noc.noc.inter_hop_ns
+        )
+
+    def test_cost_matrix_views_update_in_place(self, noc):
+        view = noc.cost_matrix  # what a SchedulerContext holds
+        u0 = self._stack_units(noc, 0)[0]
+        u1 = self._stack_units(noc, 1)[0]
+        healthy_cost = float(view[u0, u1])
+        noc.set_link_faults([(0, 1)])
+        assert float(view[u0, u1]) > healthy_cost
+        noc.clear_link_faults()
+        assert float(view[u0, u1]) == healthy_cost
+
+    def test_isolated_stack_is_unreachable(self, noc):
+        # stack 0 (corner) only connects through (0, 1) and (0, 4).
+        noc.set_link_faults([(0, 1), (0, 4)])
+        u0 = self._stack_units(noc, 0)[0]
+        far = self._stack_units(noc, 5)[0]
+        assert not noc.is_reachable(u0, far)
+        assert noc.effective_hops(u0, far) == -1
+        assert noc.one_way_latency_ns(u0, far) == float("inf")
+        assert noc.route_stacks(0, 5) is None
+        # units inside the isolated stack still talk to each other
+        u0b = self._stack_units(noc, 0)[1]
+        assert noc.is_reachable(u0, u0b)
+        assert noc.one_way_latency_ns(u0, u0b) == noc.noc.intra_hop_ns
+
+    def test_unreachable_transfer_moves_no_mesh_bits(self, noc):
+        from repro.arch.noc import TrafficMeter
+
+        noc.set_link_faults([(0, 1), (0, 4)])
+        meter = TrafficMeter()
+        u0 = self._stack_units(noc, 0)[0]
+        far = self._stack_units(noc, 5)[0]
+        noc.record_transfer(meter, u0, far, bits=1024)
+        assert meter.messages == 1
+        assert meter.inter_hops == 0 and meter.inter_bits == 0
+        assert meter.intra_bits == 0
+
+    def test_degraded_link_costs_more_or_detours(self, noc):
+        u0 = self._stack_units(noc, 0)[0]
+        u1 = self._stack_units(noc, 1)[0]
+        healthy = noc.one_way_latency_ns(u0, u1)
+        noc.set_link_faults([], degraded={(0, 1): 4.0})
+        slow = noc.one_way_latency_ns(u0, u1)
+        assert slow > healthy
+        # never worse than the best detour around the slow link (3 hops)
+        assert slow <= 2 * noc.noc.intra_hop_ns + 3 * noc.noc.inter_hop_ns
+
+    def test_link_meter_attributes_around_dead_links(self, noc):
+        meter = noc.enable_link_metering()
+        u0 = self._stack_units(noc, 0)[0]
+        u1 = self._stack_units(noc, 1)[0]
+        noc.set_link_faults([(0, 1)])
+        from repro.arch.noc import TrafficMeter
+
+        tm = TrafficMeter()
+        noc.record_transfer(tm, u0, u1, bits=128)
+        assert meter.link_flits, "rerouted traffic was attributed"
+        for (a, b) in meter.link_flits:
+            assert {a, b} != {0, 1}, "dead link accumulated flits"
+        assert meter.total_link_flits() == 3  # one flit over each detour hop
+
+    def test_clear_restores_healthy_mesh(self, noc):
+        u0 = self._stack_units(noc, 0)[0]
+        u1 = self._stack_units(noc, 1)[0]
+        healthy_latency = noc.one_way_latency_ns(u0, u1)
+        noc.set_link_faults([(0, 1)], degraded={(1, 2): 2.0})
+        noc.clear_link_faults()
+        assert not noc.has_link_faults
+        assert noc.one_way_latency_ns(u0, u1) == healthy_latency
+        assert noc.effective_hops(u0, u1) == 1
+        if noc.link_meter is not None:
+            assert noc.link_meter.router is None
+
+    def test_all_one_multipliers_mean_no_faults(self, noc):
+        noc.set_link_faults([], degraded={(0, 1): 1.0})
+        assert not noc.has_link_faults

@@ -1,0 +1,93 @@
+"""RNG plumbing audit: every stochastic component is run-seed derived.
+
+Reproducibility is a core property of the simulator (the sweep cache
+assumes bit-identical re-runs) and of the fault subsystem (campaigns
+must replay exactly).  These tests pin the two halves of that contract:
+
+* statically, no source file reaches for global/unseeded randomness;
+* dynamically, same-seed machines produce identical random streams and
+  the fault stream is independent of the system stream.
+"""
+
+import pathlib
+import re
+
+import numpy as np
+
+import repro
+from repro.config import experiment_config
+from repro.core.system import build_system
+from repro.faults import FAULT_STREAM, FaultSchedule, make_random_schedule
+
+SRC = pathlib.Path(repro.__file__).resolve().parent
+
+#: global-state randomness that would break run reproducibility.
+_FORBIDDEN = [
+    re.compile(r"np\.random\.seed"),
+    re.compile(r"np\.random\.default_rng\(\s*\)"),      # unseeded
+    re.compile(r"np\.random\.(rand|randn|randint|random|choice|"
+               r"shuffle|permutation)\("),              # legacy global
+    re.compile(r"(?<![.\w])import random\b"),           # stdlib global RNG
+]
+
+
+def _source_files():
+    files = sorted(SRC.rglob("*.py"))
+    assert len(files) > 40  # the audit actually saw the package
+    return files
+
+
+def test_no_global_or_unseeded_randomness_in_package():
+    offenders = []
+    for path in _source_files():
+        text = path.read_text(encoding="utf-8")
+        for pat in _FORBIDDEN:
+            if pat.search(text):
+                offenders.append((str(path.relative_to(SRC)), pat.pattern))
+    assert not offenders, f"unseeded/global RNG use: {offenders}"
+
+
+def test_every_default_rng_call_is_seeded():
+    pattern = re.compile(r"default_rng\(([^)]*)\)")
+    for path in _source_files():
+        for m in pattern.finditer(path.read_text(encoding="utf-8")):
+            arg = m.group(1).strip()
+            assert arg, f"{path.name}: default_rng() without a seed"
+
+
+def test_system_rng_is_config_seed_derived():
+    cfg = experiment_config().scaled(2, 2)
+    a = build_system("O", cfg)
+    b = build_system("O", cfg)
+    # identical seed -> identical generator state -> identical draws
+    assert a.rng.random(8).tolist() == b.rng.random(8).tolist()
+    c = build_system("O", cfg.with_(seed=cfg.seed + 1))
+    assert a.rng.random(8).tolist() != c.rng.random(8).tolist()
+
+
+def test_fault_stream_is_independent_of_system_stream():
+    seed = 2023
+    system_rng = np.random.default_rng(seed)
+    fault_rng = np.random.default_rng([seed, FAULT_STREAM])
+    # distinct spawn words give distinct (independent) streams
+    assert system_rng.random(8).tolist() != fault_rng.random(8).tolist()
+
+
+def test_fault_schedule_generation_consumes_only_its_own_stream():
+    cfg = experiment_config().scaled(2, 2)
+    sys_a = build_system("O", cfg)
+    before = sys_a.rng.bit_generator.state
+    topo = sys_a.topology
+    make_random_schedule(topo.num_units, topo.mesh_links(),
+                         unit_fails=3, link_fails=1, seed=cfg.seed)
+    assert sys_a.rng.bit_generator.state == before
+
+
+def test_attaching_a_controller_does_not_perturb_system_rng():
+    cfg = experiment_config().scaled(2, 2)
+    plain = build_system("O", cfg)
+    faulted = build_system(
+        "O", cfg, fault_schedule=FaultSchedule.unit_failures([3]))
+    assert (plain.rng.bit_generator.state
+            == faulted.rng.bit_generator.state)
+    assert faulted.fault_controller._rng is not faulted.rng

@@ -260,3 +260,128 @@ class TestRebalanceByStealing:
         assert WorkStealingScheduler(ctx).uses_work_stealing
         assert not LowestDistanceScheduler(ctx).uses_work_stealing
         assert HybridScheduler(ctx).uses_window_rescheduling
+
+
+class TestAliveMasking:
+    """Fault-injection hardening: all policies honor the alive mask."""
+
+    def _dead(self, ctx, *units):
+        mask = np.ones(ctx.memory_map.topology.num_units, dtype=bool)
+        for u in units:
+            mask[u] = False
+        ctx.alive_mask = mask
+        return mask
+
+    def test_context_defaults_to_all_alive(self):
+        ctx = make_context()
+        assert ctx.alive_mask is None
+        assert ctx.is_alive(0) and ctx.is_alive(127)
+        assert ctx.nearest_alive(42) == 42
+
+    def test_nearest_alive_prefers_cheapest_survivor(self):
+        ctx = make_context()
+        self._dead(ctx, 5)
+        repl = ctx.nearest_alive(5)
+        assert repl != 5 and ctx.is_alive(repl)
+        # the replacement is the cheapest alive unit by NoC cost
+        costs = ctx.cost_matrix[5].copy()
+        costs[5] = np.inf
+        assert ctx.cost_matrix[5, repl] == costs.min()
+
+    def test_nearest_alive_raises_when_all_dead(self):
+        ctx = make_context()
+        ctx.alive_mask = np.zeros(
+            ctx.memory_map.topology.num_units, dtype=bool)
+        with pytest.raises(RuntimeError, match="no alive"):
+            ctx.nearest_alive(0)
+
+    def test_colocate_avoids_dead_home(self):
+        ctx = make_context()
+        sched = ColocateScheduler(ctx)
+        task = task_with_addrs(ctx, [unit_addr(ctx, 9)])
+        assert sched.choose_unit(task) == 9
+        self._dead(ctx, 9)
+        chosen = sched.choose_unit(task)
+        assert chosen != 9 and ctx.is_alive(chosen)
+
+    def test_lowest_distance_skips_dead_candidates(self):
+        ctx = make_context()
+        sched = LowestDistanceScheduler(ctx)
+        addrs = [unit_addr(ctx, 3), unit_addr(ctx, 4)]
+        task = task_with_addrs(ctx, addrs, spawner=3)
+        assert sched.choose_unit(task) in (3, 4)
+        self._dead(ctx, 3)
+        assert sched.choose_unit(task) == 4
+
+    def test_lowest_distance_all_candidates_dead(self):
+        ctx = make_context()
+        sched = LowestDistanceScheduler(ctx)
+        task = task_with_addrs(ctx, [unit_addr(ctx, 3), unit_addr(ctx, 4)])
+        self._dead(ctx, 3, 4)
+        chosen = sched.choose_unit(task)
+        assert chosen not in (3, 4) and ctx.is_alive(chosen)
+
+    def test_hybrid_never_picks_dead_unit(self):
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        task = task_with_addrs(ctx, [unit_addr(ctx, 7)], spawner=7)
+        assert sched.choose_unit(task) == 7
+        self._dead(ctx, 7)
+        chosen = sched.choose_unit(task)
+        assert chosen != 7 and ctx.is_alive(chosen)
+
+    def test_fallback_on_empty_hint_respects_mask(self):
+        ctx = make_context()
+        sched = HybridScheduler(ctx)
+        task = Task(func=lambda c: None, timestamp=0,
+                    hint=TaskHint.empty(), spawner_unit=11)
+        assert sched.choose_unit(task) == 11
+        self._dead(ctx, 11)
+        chosen = sched.choose_unit(task)
+        assert chosen != 11 and ctx.is_alive(chosen)
+
+
+class TestStealingEligibility:
+    """Dead units neither donate to nor receive from the rebalancer."""
+
+    @staticmethod
+    def flat_estimate(task, unit):
+        return task.booked_workload
+
+    def _mk(self, w):
+        t = Task(func=lambda c: None, timestamp=0, hint=TaskHint.empty())
+        t.booked_workload = w
+        return t
+
+    def test_dead_idle_unit_receives_nothing(self):
+        heavy = [self._mk(100.0) for _ in range(10)]
+        by_unit = [list(heavy), [], []]
+        eligible = np.array([True, False, True])
+        steals = rebalance_by_stealing(
+            by_unit, self.flat_estimate, 1, steal_overhead=0.0,
+            eligible=eligible,
+        )
+        assert steals > 0
+        assert by_unit[1] == []          # the dead unit stayed empty
+        assert len(by_unit[2]) > 0
+
+    def test_fewer_than_two_eligible_is_noop(self):
+        by_unit = [[self._mk(100.0) for _ in range(6)], []]
+        eligible = np.array([True, False])
+        assert rebalance_by_stealing(
+            by_unit, self.flat_estimate, 1, steal_overhead=0.0,
+            eligible=eligible,
+        ) == 0
+
+    def test_none_eligible_matches_legacy_behavior(self):
+        a = [[self._mk(100.0) for _ in range(10)], []]
+        b = [list(a[0]), []]
+        with_mask = rebalance_by_stealing(
+            a, self.flat_estimate, 1, steal_overhead=0.0,
+            eligible=np.array([True, True]),
+        )
+        without = rebalance_by_stealing(
+            b, self.flat_estimate, 1, steal_overhead=0.0,
+        )
+        assert with_mask == without
+        assert [len(q) for q in a] == [len(q) for q in b]
