@@ -35,6 +35,20 @@ class DramStats:
             + self.cache_reads + self.tag_accesses_in_dram
         )
 
+    def add_bulk(
+        self,
+        reads: int = 0,
+        cache_fills: int = 0,
+        cache_reads: int = 0,
+        tag_accesses_in_dram: int = 0,
+    ) -> None:
+        """Fold a batch of pre-aggregated read-path events in at once
+        (the batched access engine's single flush per hint batch)."""
+        self.reads += reads
+        self.cache_fills += cache_fills
+        self.cache_reads += cache_reads
+        self.tag_accesses_in_dram += tag_accesses_in_dram
+
     def merge(self, other: "DramStats") -> None:
         self.reads += other.reads
         self.writes += other.writes

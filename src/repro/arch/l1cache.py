@@ -82,6 +82,16 @@ class L1Cache:
         s[line] = None
         return victim
 
+    def batch_state(self):
+        """Internal state for the batched access engine's fused probe
+        loop: ``(sets dict, num_sets, associativity, stats)``.
+
+        The engine inlines :meth:`lookup`/:meth:`insert` per hint line
+        (same hash, same LRU updates, same eviction choices) and flushes
+        the hit/miss counts into ``stats`` once per batch.
+        """
+        return self._sets, self.num_sets, self.associativity, self.stats
+
     def contains(self, line: int) -> bool:
         """Non-mutating membership test (no stats, no LRU update)."""
         s = self._sets.get(self._set_of(line))

@@ -62,7 +62,13 @@ class MemoryMap:
 
     def unique_lines(self, addrs: np.ndarray) -> np.ndarray:
         """Distinct cachelines touched by a set of addresses."""
-        return np.unique(self.lines(np.asarray(addrs, dtype=np.int64)))
+        lines = self.lines(np.asarray(addrs, dtype=np.int64))
+        if lines.size <= 256:
+            # Hint-sized inputs: a Python set + sort beats np.unique's
+            # sort machinery several-fold and returns the same sorted
+            # distinct values.
+            return np.array(sorted(set(lines.tolist())), dtype=np.int64)
+        return np.unique(lines)
 
     def home_of_line(self, line: int) -> int:
         return (line << self._line_shift) // self.unit_capacity

@@ -65,6 +65,28 @@ class TrafficMeter:
         self.intra_bits = 0
         self.messages = 0
 
+    def add_bulk(
+        self,
+        messages: int = 0,
+        local_accesses: int = 0,
+        intra_transfers: int = 0,
+        intra_bits: int = 0,
+        inter_hops: int = 0,
+        inter_bits: int = 0,
+    ) -> None:
+        """Fold a batch worth of pre-aggregated traffic into the meter.
+
+        Integer counters are order-insensitive, so the batched access
+        engine accumulates a whole hint batch in Python ints and flushes
+        once — same totals as per-message :meth:`merge`/``+=`` booking.
+        """
+        self.messages += messages
+        self.local_accesses += local_accesses
+        self.intra_transfers += intra_transfers
+        self.intra_bits += intra_bits
+        self.inter_hops += inter_hops
+        self.inter_bits += inter_bits
+
 
 class LinkMeter:
     """Per-link traffic attribution for the telemetry heatmaps.
@@ -183,6 +205,14 @@ class Interconnect:
         #: unreachable.  Doubles as the scheduling-cost contribution.
         self._fault_mesh_ns: Optional[np.ndarray] = None
         self._fault_routes: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = {}
+        # Dense lookup tables for the batched access engine (see
+        # fast_tables()); rebuilt lazily after any fault transition.
+        self._fast_tables: Optional[
+            Tuple[List[List[float]], List[List[int]], List[List[int]]]
+        ] = None
+        #: bumped on every link-fault set/clear so engines holding
+        #: derived per-line memos know to drop them.
+        self.fault_epoch: int = 0
 
     def _build_cost_matrix(self) -> np.ndarray:
         """(N, N) scheduling distance costs (Equation 2 terms)."""
@@ -246,6 +276,8 @@ class Interconnect:
         self._link_scale = scale
         self._fault_hops, self._fault_mesh_ns = self._solve_mesh_routes()
         self._fault_routes.clear()
+        self._fast_tables = None
+        self.fault_epoch += 1
         self._rebuild_cost_in_place()
         if self.link_meter is not None:
             self.link_meter.router = self.route_stacks
@@ -257,6 +289,8 @@ class Interconnect:
         self._fault_hops = None
         self._fault_mesh_ns = None
         self._fault_routes.clear()
+        self._fast_tables = None
+        self.fault_epoch += 1
         self._rebuild_cost_in_place()
         if self.link_meter is not None:
             self.link_meter.router = None
@@ -421,6 +455,44 @@ class Interconnect:
     def round_trip_latency_ns(self, src: int, dst: int) -> float:
         """Request + response latency between two units."""
         return 2.0 * self.one_way_latency_ns(src, dst)
+
+    def fast_tables(
+        self,
+    ) -> Tuple[List[List[float]], List[List[int]], List[List[int]]]:
+        """Dense (N, N) lookup tables for the batched access engine.
+
+        Returns ``(one_way_ns, access_class, hops)`` as nested Python
+        lists (list indexing beats ndarray item access in tight Python
+        loops).  ``access_class`` encodes 0=local / 1=intra / 2=inter;
+        ``hops`` holds :meth:`effective_hops` (-1 = unreachable).  Every
+        entry is computed with the exact float expressions of
+        :meth:`one_way_latency_ns`, vectorized — two-operand IEEE sums
+        of the same addends, so the values are bit-identical.  Cached
+        until the next link-fault transition.
+        """
+        if self._fast_tables is not None:
+            return self._fast_tables
+        topo = self.topology
+        n = topo.num_units
+        hops = topo.inter_hops
+        if self._fault_mesh_ns is not None:
+            ix = np.ix_(topo.stack_of_unit, topo.stack_of_unit)
+            ow = self._fault_mesh_ns[ix] + 2 * self.noc.intra_hop_ns
+            eff = self._fault_hops[ix].copy()
+        else:
+            ow = hops.astype(np.float64) * self.noc.inter_hop_ns \
+                + 2 * self.noc.intra_hop_ns
+            eff = hops.copy()
+        same = topo.same_stack
+        eye = np.eye(n, dtype=bool)
+        ow[same & ~eye] = self.noc.intra_hop_ns
+        ow[eye] = 0.0
+        eff[same] = 0
+        cls = np.full((n, n), 2, dtype=np.int64)
+        cls[same & ~eye] = 1
+        cls[eye] = 0
+        self._fast_tables = (ow.tolist(), cls.tolist(), eff.tolist())
+        return self._fast_tables
 
     # ------------------------------------------------------------------
     # traffic accounting

@@ -57,6 +57,13 @@ class PrefetchBuffer:
         self._fifo[line] = None
         self.stats.issued += 1
 
+    def batch_state(self):
+        """Internal state for the batched access engine's fused probe
+        loop: ``(fifo dict, capacity_lines, stats)``.  Same contract as
+        :meth:`repro.arch.l1cache.L1Cache.batch_state`.
+        """
+        return self._fifo, self.capacity_lines, self.stats
+
     def contains(self, line: int) -> bool:
         return line in self._fifo
 

@@ -1,0 +1,164 @@
+"""Performance benchmark harness (``python -m repro bench``).
+
+Times seeded (design x workload) simulation points with one engine and
+writes a ``BENCH_<n>.json`` record at the repository root, starting the
+perf trajectory of the simulator itself: ``BENCH_0.json`` is the
+pre-optimization scalar baseline, ``BENCH_1.json`` the batched engine,
+and future PRs append ``BENCH_2.json``... after their own hot-path
+work.  ``docs/performance.md`` explains how to read the records.
+
+Methodology
+-----------
+* One shared workload instance per workload name: the dataset is built
+  once, so the timings cover simulation, not graph generation.
+* One untimed warmup run before the matrix absorbs import and
+  allocator effects.
+* Every point is simulated ``repeats`` times and the **best** wall and
+  CPU times are kept — the usual best-of-N defence against scheduler
+  noise on shared machines.  Within-file ratios are stable; absolute
+  seconds across machines are not comparable.
+* ``tasks/s`` and ``accesses/s`` are derived from the RunResult of the
+  timed run (``tasks_executed``; L1-entered reads plus DRAM writes), so
+  the throughput numbers always describe exactly the simulated work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig, experiment_config
+
+#: file-name pattern of benchmark records at the repository root.
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: schema tag of the payload written by :func:`write_bench`.
+SCHEMA = "repro-bench-v1"
+
+
+def engine_config(engine: str,
+                  config: Optional[SystemConfig] = None) -> SystemConfig:
+    """``config`` (default: the experiment machine) with the given
+    access engine selected."""
+    cfg = config if config is not None else experiment_config()
+    return dataclasses.replace(
+        cfg, memory=dataclasses.replace(cfg.memory, access_engine=engine)
+    ).validate()
+
+
+def _accesses(result) -> int:
+    """Memory accesses resolved by the run: every read entering the
+    hierarchy (counted at the L1, the first probe of every access flow)
+    plus the output writes that go straight to DRAM."""
+    return int(result.sram.l1_accesses) + int(result.dram.writes)
+
+
+def bench_points(
+    engine: str,
+    designs: Sequence[str],
+    workloads: Sequence[str],
+    config: Optional[SystemConfig] = None,
+    repeats: int = 2,
+    warmup: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Time the (design x workload) matrix under one engine.
+
+    Returns the ``BENCH_<n>.json`` payload (see module docstring for
+    the methodology).  Simulations always run live — a result cache
+    would time disk reads, not the simulator.
+    """
+    from repro.simulate import simulate
+    from repro.workloads.base import make_workload
+
+    cfg = engine_config(engine, config)
+    shared = {name: make_workload(name) for name in workloads}
+    if warmup:
+        simulate(designs[0], shared[workloads[0]], config=cfg)
+
+    points: List[Dict] = []
+    for wname in workloads:
+        for design in designs:
+            best_wall = best_cpu = float("inf")
+            result = None
+            for _ in range(max(1, repeats)):
+                w0 = time.perf_counter()
+                c0 = time.process_time()
+                result = simulate(design, shared[wname], config=cfg)
+                cpu = time.process_time() - c0
+                wall = time.perf_counter() - w0
+                best_wall = min(best_wall, wall)
+                best_cpu = min(best_cpu, cpu)
+            accesses = _accesses(result)
+            point = {
+                "design": design,
+                "workload": wname,
+                "wall_s": round(best_wall, 4),
+                "cpu_s": round(best_cpu, 4),
+                "tasks": int(result.tasks_executed),
+                "accesses": accesses,
+                "tasks_per_s": round(result.tasks_executed / best_wall, 1),
+                "accesses_per_s": round(accesses / best_wall, 1),
+                "makespan_cycles": result.makespan_cycles,
+            }
+            points.append(point)
+            if progress:
+                progress(
+                    f"{design:3} {wname:8} {best_wall:7.2f}s "
+                    f"{point['tasks_per_s']:12,.0f} tasks/s "
+                    f"{point['accesses_per_s']:14,.0f} accesses/s"
+                )
+
+    wall = sum(p["wall_s"] for p in points)
+    tasks = sum(p["tasks"] for p in points)
+    accesses = sum(p["accesses"] for p in points)
+    return {
+        "schema": SCHEMA,
+        "engine": engine,
+        "designs": list(designs),
+        "workloads": list(workloads),
+        "repeats": repeats,
+        "seed": cfg.seed,
+        "mesh": f"{cfg.topology.mesh_rows}x{cfg.topology.mesh_cols}",
+        "points": points,
+        "totals": {
+            "wall_s": round(wall, 4),
+            "tasks": tasks,
+            "accesses": accesses,
+            "tasks_per_s": round(tasks / wall, 1) if wall else 0.0,
+            "accesses_per_s": round(accesses / wall, 1) if wall else 0.0,
+        },
+    }
+
+
+def next_bench_path(root: Path) -> Path:
+    """First unused ``BENCH_<n>.json`` path under ``root``."""
+    taken = {
+        int(m.group(1))
+        for p in root.iterdir()
+        if (m := _BENCH_RE.match(p.name))
+    }
+    n = 0
+    while n in taken:
+        n += 1
+    return root / f"BENCH_{n}.json"
+
+
+def write_bench(payload: Dict, path: Path) -> Path:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Path) -> Dict:
+    return json.loads(path.read_text())
+
+
+def speedup_between(baseline: Dict, candidate: Dict) -> float:
+    """Total-wall-seconds ratio baseline/candidate of two records
+    (>1 means the candidate is faster)."""
+    cand = candidate["totals"]["wall_s"]
+    return baseline["totals"]["wall_s"] / cand if cand else float("inf")

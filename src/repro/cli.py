@@ -12,6 +12,9 @@
     python -m repro sweep alpha -w pr        # a Section 7.2 parameter sweep
     python -m repro faults O pr --units 4    # resilience campaign under
                                              # injected failures
+    python -m repro bench                    # time the simulator itself
+                                             # -> BENCH_<n>.json
+    python -m repro run -d O -w pr --profile # cProfile a live run
 
 Every simulation routes through the content-addressed result cache in
 ``.repro_cache/`` (``--no-cache`` bypasses it); grid commands fan out
@@ -135,15 +138,32 @@ def cmd_designs(args) -> int:
 def cmd_run(args) -> int:
     cfg = _config_from_args(args)
     telemetry = _telemetry_from_args(args)
-    if args.verify or telemetry is not None:
+    profiling = args.profile or args.profile_out
+    if profiling:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+    if args.verify or telemetry is not None or profiling:
         # Verification re-runs the workload's reference algorithm
-        # against the just-computed answer, and tracing needs the live
-        # telemetry object — both require a live run.
+        # against the just-computed answer, tracing needs the live
+        # telemetry object, and profiling a cache replay would time
+        # disk I/O — all three require a live run.
         result = repro.simulate(args.design, args.workload, cfg,
                                 verify=args.verify, telemetry=telemetry)
     else:
         result = cached_simulate(args.design, args.workload, cfg,
                                  cache=_cache_from_args(args))
+    if profiling:
+        import pstats
+
+        prof.disable()
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            prof.dump_stats(args.profile_out)
+            print(f"wrote {args.profile_out} "
+                  f"(inspect with `python -m pstats {args.profile_out}` "
+                  f"or snakeviz)")
     print(result.summary())
     if args.verify:
         print("answer verified against the reference implementation")
@@ -380,6 +400,73 @@ def cmd_faults(args) -> int:
     return 1 if (lost_any or campaign.failures) else 0
 
 
+def cmd_bench(args) -> int:
+    """``python -m repro bench``: time the simulator itself (see
+    docs/performance.md) and record a ``BENCH_<n>.json`` at the repo
+    root; ``--smoke`` instead cross-checks the two access engines on
+    one small point (CI's perf gate)."""
+    from pathlib import Path
+
+    from repro.bench import bench_points, next_bench_path, write_bench
+
+    if args.smoke:
+        return _bench_smoke()
+    designs = (args.designs.split(",") if args.designs
+               else list(repro.ALL_DESIGNS))
+    workloads = args.workloads.split(",") if args.workloads else ["pr"]
+    payload = bench_points(
+        args.engine, designs, workloads, config=_config_from_args(args),
+        repeats=args.repeats, progress=lambda m: print(m, flush=True),
+    )
+    out = Path(args.output) if args.output else next_bench_path(Path.cwd())
+    write_bench(payload, out)
+    t = payload["totals"]
+    print(f"wrote {out} (engine={args.engine}, total {t['wall_s']:.2f}s, "
+          f"{t['tasks_per_s']:,.0f} tasks/s, "
+          f"{t['accesses_per_s']:,.0f} accesses/s)")
+    return 0
+
+
+def _bench_smoke() -> int:
+    """One small point (O/pr on a 2x2 mesh) under both engines: results
+    must match bit-for-bit and the batched engine must not be slower."""
+    import time
+
+    from repro.bench import engine_config
+    from repro.simulate import simulate
+    from repro.sweep.serialize import result_to_dict
+    from repro.workloads.base import make_workload
+
+    base = experiment_config().scaled(2, 2)
+    workload = make_workload("pr")
+    best: Dict[str, float] = {}
+    payload: Dict[str, str] = {}
+    for engine in ("scalar", "batched"):
+        cfg = engine_config(engine, base)
+        simulate("O", workload, config=cfg)  # warmup
+        best[engine] = float("inf")
+        for _ in range(3):
+            t0 = time.process_time()
+            result = simulate("O", workload, config=cfg)
+            best[engine] = min(best[engine], time.process_time() - t0)
+        payload[engine] = _json.dumps(result_to_dict(result),
+                                      sort_keys=True)
+    identical = payload["scalar"] == payload["batched"]
+    ratio = best["scalar"] / best["batched"]
+    print(f"bench smoke O/pr mesh=2x2: scalar={best['scalar']:.2f}s "
+          f"batched={best['batched']:.2f}s speedup={ratio:.2f}x "
+          f"results {'identical' if identical else 'DIFFER'}")
+    if not identical:
+        print("error: engines disagree on the same seeded point",
+              file=sys.stderr)
+        return 1
+    if best["batched"] > best["scalar"]:
+        print("error: batched engine slower than scalar on the smoke "
+              "point", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_sweep(args) -> int:
     if args.parameter is None:
         return cmd_sweep_matrix(args)
@@ -456,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry(p_run)
     p_run.add_argument("--verify", action="store_true",
                        help="check the computed answer")
+    p_run.add_argument("--profile", action="store_true",
+                       help="cProfile the simulation (live run) and "
+                            "print the top 25 functions by cumulative "
+                            "time")
+    p_run.add_argument("--profile-out", metavar="PATH", default=None,
+                       help="also dump the raw profile to PATH "
+                            "(pstats format; implies --profile)")
 
     p_trace = sub.add_parser(
         "trace",
@@ -503,6 +597,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the generated schedule to a JSON file")
     add_common(p_faults, workload=False)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator itself and record BENCH_<n>.json "
+             "(--smoke: cross-engine CI gate on one small point)",
+    )
+    p_bench.add_argument("--engine", choices=["scalar", "batched"],
+                         default="batched",
+                         help="access engine to time (default: batched)")
+    p_bench.add_argument("--designs",
+                         help="comma-separated design subset "
+                              "(default: all six)")
+    p_bench.add_argument("--workloads",
+                         help="comma-separated workload subset "
+                              "(default: pr)")
+    p_bench.add_argument("--repeats", type=int, default=2,
+                         help="timed repetitions per point; the best "
+                              "is kept (default: 2)")
+    p_bench.add_argument("--output", metavar="PATH", default=None,
+                         help="record path (default: next free "
+                              "BENCH_<n>.json in the current directory)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="run one small point under both engines; "
+                              "fail on result mismatch or a batched "
+                              "slowdown")
+    add_config(p_bench)
+
     p_sweep = sub.add_parser(
         "sweep",
         help="the full design x workload matrix (no argument; parallel, "
@@ -530,6 +650,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "matrix": cmd_matrix,
     "faults": cmd_faults,
+    "bench": cmd_bench,
     "sweep": cmd_sweep,
 }
 

@@ -148,6 +148,14 @@ class MemoryConfig:
     # Hot home units saturating this rate is the contention that the
     # Traveller Cache's extra caching locations relieve.
     service_ns: float = 3.0
+    # Implementation choice, not a machine parameter: "batched" resolves a
+    # task's whole hint batch per MemorySystem.access_many call (vectorized
+    # stateless stages + an ordered sequential kernel, bit-identical
+    # results), "scalar" keeps the original one-call-per-line reference
+    # path.  Non-semantic: both engines produce the same RunResult, so the
+    # field is excluded from canonical_dict()/run keys.
+    access_engine: str = field(default="batched",
+                               metadata={"semantic": False})
 
     @property
     def access_latency_ns(self) -> float:
@@ -180,6 +188,11 @@ class MemoryConfig:
             raise ValueError("cacheline_bytes must be a power of two")
         if self.capacity_per_unit % self.cacheline_bytes:
             raise ValueError("capacity must be a multiple of the cacheline")
+        if self.access_engine not in ("scalar", "batched"):
+            raise ValueError(
+                "access_engine must be 'scalar' or 'batched', "
+                f"got {self.access_engine!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -392,9 +405,13 @@ def _canonical_value(value):
     if isinstance(value, enum.Enum):
         return value.value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Fields tagged semantic=False are implementation selectors that
+        # cannot change results (e.g. MemoryConfig.access_engine); leaving
+        # them out keeps run keys stable across engine choices.
         return {
             f.name: _canonical_value(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.metadata.get("semantic", True)
         }
     if isinstance(value, (list, tuple)):
         return [_canonical_value(v) for v in value]

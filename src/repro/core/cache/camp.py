@@ -25,6 +25,7 @@ across all groups.
 
 from __future__ import annotations
 
+import itertools
 from functools import lru_cache
 from typing import List, Tuple
 
@@ -55,6 +56,14 @@ _SKEWED_MULTIPLIERS = (
     0x14057B7EF767814F,
     0xB5026F5AA96619E9,
 )
+
+
+#: process-unique tokens for CampMapper instances.  Consumers memoize
+#: derived per-line data keyed on ``(mapper.token, mapper.epoch)``; a
+#: counter (unlike ``id()``) is never reused after garbage collection,
+#: so a memo attached to a shared object (e.g. a task hint reused
+#: across designs) can never alias a new mapper.
+_mapper_tokens = itertools.count()
 
 
 class CampMapper:
@@ -96,6 +105,11 @@ class CampMapper:
         self._nearest_cache: dict = {}
         # Unit liveness under faults; None while every unit is healthy.
         self._alive: "np.ndarray | None" = None
+        #: identity/version pair for externally memoized derived data
+        #: (see _mapper_tokens).  ``epoch`` bumps whenever the mapping
+        #: changes (clear_cache / set_alive_mask).
+        self.token: int = next(_mapper_tokens)
+        self.epoch: int = 0
 
     # ------------------------------------------------------------------
     # scalar interface
@@ -235,6 +249,58 @@ class CampMapper:
             out[i] = self.locations(int(line))
         return out
 
+    def prime_lines(self, lines, cost_matrix: np.ndarray) -> None:
+        """Fill the per-line memo tables for a whole batch at once.
+
+        Array-at-a-time version of :meth:`locations` +
+        :meth:`_nearest_tables` for every not-yet-memoized line in
+        ``lines`` (an iterable of Python ints).  The hash, the argmin
+        tie-break (first minimum), and the stored values are exactly
+        those of the scalar path — the tables land in the same memo
+        dicts, so scalar and batched consumers see identical data.
+        Under an alive-mask the per-group probing makes vectorization
+        awkward; that rare case falls back to the scalar fill.
+        """
+        cache = self._nearest_cache
+        missing = [ln for ln in lines if ln not in cache]
+        if not missing:
+            return
+        if self._alive is not None:
+            for ln in missing:
+                self._nearest_tables(ln, cost_matrix)
+            return
+        arr = np.asarray(missing, dtype=np.int64)
+        batch = arr.size
+        homes = self.memory_map.homes_of_lines(arr)
+        home_groups = self.topology.group_of_unit[homes]
+        upg = self.units_per_group
+        u64 = arr.astype(np.uint64)
+        locs = np.empty((batch, self.num_groups), dtype=np.int64)
+        for g in range(self.num_groups):
+            h = (u64 * np.uint64(self._multipliers[g])) >> np.uint64(48)
+            locs[:, g] = g * upg + (h % np.uint64(upg)).astype(np.int64)
+        # The home's group contributes the home itself, not a camp.
+        rows = np.arange(batch)
+        locs[rows, home_groups] = homes
+        costs = cost_matrix[:, locs]                     # (N, B, G)
+        idx = np.argmin(costs, axis=2)                   # (N, B)
+        nearest = locs[rows[None, :], idx]               # (N, B)
+        dist = np.take_along_axis(
+            costs, idx[:, :, None], axis=2
+        )[:, :, 0]                                       # (N, B)
+        loc_cache = self._loc_cache
+        for b, ln in enumerate(missing):
+            if ln not in loc_cache:
+                row = locs[b].copy()
+                row.flags.writeable = False
+                loc_cache[ln] = row
+            near = np.ascontiguousarray(nearest[:, b])
+            cache[ln] = (
+                near,
+                near == int(homes[b]),
+                np.ascontiguousarray(dist[:, b]),
+            )
+
     # ------------------------------------------------------------------
     # metadata sizing (Section 4.3)
     # ------------------------------------------------------------------
@@ -268,3 +334,4 @@ class CampMapper:
         """Drop the memoized per-line location and nearest tables."""
         self._loc_cache.clear()
         self._nearest_cache.clear()
+        self.epoch += 1

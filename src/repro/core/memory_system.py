@@ -27,6 +27,7 @@ traffic across ``C + 1`` channels.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.arch.sram import SramModel, SramStats
 from repro.config import CacheStyle, SystemConfig
 from repro.core.cache.camp import CampMapper
 from repro.core.cache.dram_tag_cache import DramTagCache
+from repro.core.cache.policies import RandomReplacement
 from repro.core.cache.sram_cache import SramDataCache
 from repro.core.cache.traveller import CacheStatsTotal, TravellerCache
 
@@ -70,6 +72,10 @@ class MemorySystem:
         self.style = config.cache.style
         self._cost = interconnect.cost_matrix
         self._service_ns = config.memory.service_ns
+        #: "batched" resolves whole hint batches through access_many's
+        #: fused kernel; "scalar" keeps the original per-line path.
+        #: Results are bit-identical (see tests/test_access_engine.py).
+        self._engine = config.memory.access_engine
 
         self.traffic = TrafficMeter()
         self.dram_stats = DramStats()
@@ -77,10 +83,22 @@ class MemorySystem:
         # Fault state, attached by the FaultController when active.
         self._alive: Optional[np.ndarray] = None
         self._resilience = None  # faults.ResilienceStats, duck-typed
-        # Per-unit DRAM channel service clock (absolute ns).
-        self._dram_free_ns = np.zeros(config.num_units, dtype=np.float64)
+        # Per-unit DRAM channel service clock (absolute ns).  A plain
+        # Python list: the clock is read/written once per DRAM event in
+        # tight loops, where list indexing beats ndarray item access.
+        self._dram_free_ns = [0.0] * config.num_units
         # Total queuing delay observed (diagnostics / tests).
         self.total_queue_delay_ns = 0.0
+        # Batched-engine per-line memo: line -> (home unit,
+        # per-requester nearest camp list, per-requester is-home list);
+        # the camp lists are None for CacheStyle.NONE.  Valid for one
+        # (camp-mapping epoch, link-fault epoch) pair.
+        self._line_memo: dict = {}
+        self._memo_epoch: tuple = (-1, -1)
+        # Per-requester (L1, prefetch) batch-state tuples, filled on
+        # first use: the containers are cleared in place at barriers
+        # (never recreated), so the references stay valid for the run.
+        self._unit_state: List[Optional[tuple]] = [None] * config.num_units
 
         self.caches: List[Optional[TravellerCache]] = []
         if self.style is CacheStyle.NONE:
@@ -92,11 +110,26 @@ class MemorySystem:
                 CacheStyle.DRAM_TAG: DramTagCache,
             }[self.style]
             self.caches = [
-                cls(config.cache, config.memory, rng)
+                # The scalar engine keeps the original dense-ndarray
+                # layout so it stays the unmodified reference path.
+                cls(config.cache, config.memory, rng,
+                    dense_layout=self._engine == "scalar")
                 for _ in range(config.num_units)
             ]
         if self.style is not CacheStyle.NONE and camp_mapper is None:
             raise ValueError("a camp mapper is required when caching is on")
+        # The fused kernel may inline the sparse-layout cache probe and
+        # install when replacement is RANDOM: on_touch is then a no-op
+        # and the use-stamps are never read, so the inlined flow keeps
+        # the exact hit/miss outcomes and RNG draw order (one
+        # rng.random() per install attempt, one rng.integers(assoc) per
+        # eviction) of TravellerCache.lookup/insert.
+        self._inline_cache = (
+            self._engine == "batched"
+            and self.style is not CacheStyle.NONE
+            and not self.caches[0]._dense
+            and isinstance(self.caches[0]._victims, RandomReplacement)
+        )
 
     # ------------------------------------------------------------------
     # DRAM channel service model
@@ -207,6 +240,419 @@ class MemorySystem:
         unit.prefetch.insert(line)
         unit.l1.insert(line)
         return latency
+
+    # ------------------------------------------------------------------
+    # batched read path
+    # ------------------------------------------------------------------
+    def access_many(
+        self,
+        requester: int,
+        lines,
+        now_ns: float,
+        spacing_ns: float = 0.0,
+        cap_ns: float = 0.0,
+    ) -> float:
+        """Resolve a whole hint batch of reads; return the summed latency.
+
+        Line ``i`` is issued at ``now_ns + min(i * spacing_ns, cap_ns)``
+        — the executor's issue-spread model.  With the batched engine
+        this fuses the per-line flow of :meth:`access` into one pass:
+        camp resolution and NoC latencies come from vectorized,
+        epoch-invalidated tables, stat counters accumulate in locals and
+        flush once, while every *stateful* step (L1/prefetch/camp-cache
+        probes and inserts with their RNG draws, the per-unit DRAM
+        service clocks, and all float additions) runs in the exact
+        per-line order of the scalar path, so results are bit-identical.
+
+        Situations the fused kernel does not model (an attached
+        resilience/fault state, link faults, a per-link telemetry meter,
+        vault latency scaling) fall back to the scalar loop — which is
+        also the whole story when ``MemoryConfig.access_engine`` is
+        ``"scalar"``.
+        """
+        noc = self.interconnect
+        if (
+            self._engine != "batched"
+            or self._resilience is not None
+            or noc.link_meter is not None
+            or noc.has_link_faults
+            or self.dram._latency_scale is not None
+            or (self.camp_mapper is not None
+                and self.camp_mapper._alive is not None)
+        ):
+            total = 0.0
+            for i, line in enumerate(lines):
+                spread = min(i * spacing_ns, cap_ns)
+                total += self.access(requester, int(line), now_ns + spread)
+            return total
+        return self._access_many_batched(
+            requester, lines, now_ns, spacing_ns, cap_ns
+        )
+
+    def _prime_line_memo(self, line_list: List[int]) -> None:
+        """Ensure every line's (home, nearest, is-home) memo entry exists.
+
+        Memo validity is tied to the camp-mapping epoch and the link-
+        fault epoch; both are checked by the caller.  Camp tables are
+        filled array-at-a-time via :meth:`CampMapper.prime_lines` and
+        then flattened to Python lists for the sequential kernel.
+        """
+        memo = self._line_memo
+        missing = [ln for ln in line_list if ln not in memo]
+        if not missing:
+            return
+        homes = self.memory_map.homes_of_lines(
+            np.asarray(missing, dtype=np.int64)
+        ).tolist()
+        if self.style is CacheStyle.NONE:
+            for ln, home in zip(missing, homes):
+                memo[ln] = (home, None, None)
+            return
+        cm = self.camp_mapper
+        cm.prime_lines(missing, self._cost)
+        tables = cm._nearest_tables
+        cost = self._cost
+        for ln, home in zip(missing, homes):
+            nearest, is_home, _ = tables(ln, cost)
+            memo[ln] = (home, nearest.tolist(), is_home.tolist())
+
+    def _access_many_batched(
+        self,
+        requester: int,
+        lines,
+        now_ns: float,
+        spacing_ns: float,
+        cap_ns: float,
+    ) -> float:
+        if isinstance(lines, np.ndarray):
+            line_list = lines.tolist()
+        elif isinstance(lines, list):
+            line_list = lines  # already plain ints; read-only below
+        else:
+            line_list = [int(x) for x in lines]
+        if not line_list:
+            return 0.0
+        noc = self.interconnect
+        cm = self.camp_mapper
+        epoch = (cm.epoch if cm is not None else -1, noc.fault_epoch)
+        if epoch != self._memo_epoch:
+            self._line_memo.clear()
+            self._memo_epoch = epoch
+        self._prime_line_memo(line_list)
+
+        ustate = self._unit_state[requester]
+        if ustate is None:
+            unit = self.units[requester]
+            ustate = self._unit_state[requester] = (
+                unit.l1.batch_state() + unit.prefetch.batch_state()
+            )
+        l1_sets, l1_nsets, l1_assoc, l1_stats, pf_fifo, pf_cap, pf_stats = (
+            ustate
+        )
+        hit_ns = self.sram.l1_hit_ns
+        tag_ns = self.sram.tag_lookup_ns
+        access_lat = self.dram.access_latency_ns  # vault scaling gated off
+        service = self._service_ns
+        free = self._dram_free_ns
+        ow, cls, hops = noc.fast_tables()
+        ow_req = ow[requester]
+        cls_req = cls[requester]
+        hops_req = hops[requester]
+        caches = self.caches
+        memo = self._line_memo
+        line_bits = self.config.memory.line_bits
+        rt_bits = _REQUEST_BITS + line_bits
+        no_cache = self.style is CacheStyle.NONE
+        sram_style = self.style is CacheStyle.SRAM
+        dram_tag = self.style is CacheStyle.DRAM_TAG
+        inline_cache = self._inline_cache
+        if inline_cache:
+            c_nsets = caches[0].num_sets
+            c_assoc = caches[0].associativity
+            bp = caches[0]._insertion.bypass_probability
+
+        # Batch-local accumulators, flushed once below.  Counters are
+        # order-insensitive ints; the queue-delay float keeps the exact
+        # sequential += order of the scalar path.
+        l1_acc = l1_hits = pf_acc = pf_hits = pf_evicts = 0
+        tag_acc = data_acc = 0
+        reads = fills = cache_reads = tag_dram = 0
+        msgs = local = intra = intra_bits = inter_hops = inter_bits = 0
+        tqd = self.total_queue_delay_ns
+
+        stall = 0.0
+        # Issue-spread: with zero spacing (the default service model)
+        # every line issues at now_ns and the per-line min() collapses.
+        spread = spacing_ns != 0.0 or cap_ns < 0.0
+        now = now_ns
+        i = 0
+        for line in line_list:
+            if spread:
+                now = now_ns + min(i * spacing_ns, cap_ns)
+                i += 1
+            # Fused L1 + prefetch front-end (inlined lookup/insert with
+            # identical hashing, LRU refresh, and FIFO eviction order).
+            l1_acc += 1
+            s_idx = line % l1_nsets
+            l1_set = l1_sets.get(s_idx)
+            if l1_set is not None and line in l1_set:
+                l1_set.move_to_end(line)
+                l1_hits += 1
+                stall += hit_ns
+                continue
+            pf_acc += 1
+            if line in pf_fifo:
+                pf_hits += 1
+                stall += hit_ns
+                continue
+            home, near_row, ishome_row = memo[line]
+            if no_cache or ishome_row[requester]:
+                if not no_cache:
+                    caches[near_row[requester]].stats.home_direct += 1
+                # _direct_home_access: request + response transfers, one
+                # DRAM read at the home, round trip + queue + access.
+                msgs += 2
+                c = cls_req[home]
+                if c == 2:
+                    h = hops_req[home]
+                    inter_hops += 2 * h
+                    inter_bits += rt_bits * h
+                    intra += 4
+                    intra_bits += 2 * rt_bits
+                elif c == 1:
+                    intra += 2
+                    intra_bits += rt_bits
+                else:
+                    local += 2
+                reads += 1
+                owv = ow_req[home]
+                arrival = now + owv
+                free_at = free[home]
+                delay = free_at - arrival
+                if delay < 0.0:
+                    delay = 0.0
+                free[home] = (
+                    free_at if free_at > arrival else arrival
+                ) + service
+                tqd += delay
+                lat = 2.0 * owv + delay + access_lat
+            else:
+                nearest = near_row[requester]
+                cache = caches[nearest]
+                ow_rn = ow_req[nearest]
+                c_rn = cls_req[nearest]   # symmetric: == cls[nearest][req]
+                h_rn = hops_req[nearest]
+                # request travels requester -> nearest (tag probe)
+                msgs += 1
+                if c_rn == 2:
+                    inter_hops += h_rn
+                    inter_bits += _REQUEST_BITS * h_rn
+                    intra += 2
+                    intra_bits += 2 * _REQUEST_BITS
+                elif c_rn == 1:
+                    intra += 1
+                    intra_bits += _REQUEST_BITS
+                else:
+                    local += 1
+                lat = ow_rn
+                if dram_tag:
+                    n = cache.tag_probe_dram_accesses()
+                    tag_dram += n
+                    base = now + lat
+                    probe = 0.0
+                    for _ in range(n):
+                        arrival = base + probe
+                        free_at = free[nearest]
+                        delay = free_at - arrival
+                        if delay < 0.0:
+                            delay = 0.0
+                        free[nearest] = (
+                            free_at if free_at > arrival else arrival
+                        ) + service
+                        tqd += delay
+                        probe += delay
+                        probe += access_lat
+                    lat += probe
+                else:
+                    tag_acc += 1
+                    lat += tag_ns
+                # Inlined sparse probe (random replacement: no touch
+                # stamps to refresh, membership == first-match index).
+                if inline_cache:
+                    cstats = cache.stats
+                    c_set = line % c_nsets
+                    c_ways = cache._tags.get(c_set)
+                    if c_ways is not None and line in c_ways:
+                        cstats.hits += 1
+                        cache_hit = True
+                    else:
+                        cstats.misses += 1
+                        cache_hit = False
+                else:
+                    cache_hit = cache.lookup(line)
+                if cache_hit:
+                    if sram_style:
+                        data_acc += 1
+                        lat += hit_ns
+                    elif not dram_tag:  # Traveller: data read in DRAM
+                        cache_reads += 1
+                        arrival = now + lat
+                        free_at = free[nearest]
+                        delay = free_at - arrival
+                        if delay < 0.0:
+                            delay = 0.0
+                        free[nearest] = (
+                            free_at if free_at > arrival else arrival
+                        ) + service
+                        tqd += delay
+                        lat += delay + access_lat
+                    # response nearest -> requester (one cacheline)
+                    msgs += 1
+                    if c_rn == 2:
+                        inter_hops += h_rn
+                        inter_bits += line_bits * h_rn
+                        intra += 2
+                        intra_bits += 2 * line_bits
+                    elif c_rn == 1:
+                        intra += 1
+                        intra_bits += line_bits
+                    else:
+                        local += 1
+                    lat += ow_rn
+                else:
+                    # miss: continue nearest -> home, read, return home
+                    # -> requester; maybe install at the probed camp.
+                    cls_n = cls[nearest]
+                    hops_n = hops[nearest]
+                    c_nh = cls_n[home]
+                    h_nh = hops_n[home]
+                    msgs += 1
+                    if c_nh == 2:
+                        inter_hops += h_nh
+                        inter_bits += _REQUEST_BITS * h_nh
+                        intra += 2
+                        intra_bits += 2 * _REQUEST_BITS
+                    elif c_nh == 1:
+                        intra += 1
+                        intra_bits += _REQUEST_BITS
+                    else:
+                        local += 1
+                    lat += ow[nearest][home]
+                    reads += 1
+                    arrival = now + lat
+                    free_at = free[home]
+                    delay = free_at - arrival
+                    if delay < 0.0:
+                        delay = 0.0
+                    free[home] = (
+                        free_at if free_at > arrival else arrival
+                    ) + service
+                    tqd += delay
+                    lat += delay
+                    lat += access_lat
+                    msgs += 1
+                    c = cls_req[home]  # home -> requester, symmetric
+                    if c == 2:
+                        h = hops_req[home]
+                        inter_hops += h
+                        inter_bits += line_bits * h
+                        intra += 2
+                        intra_bits += 2 * line_bits
+                    elif c == 1:
+                        intra += 1
+                        intra_bits += line_bits
+                    else:
+                        local += 1
+                    lat += ow_req[home]
+                    # Inlined sparse install: the bypass draw comes
+                    # first (as in insert()), then empty-way / random
+                    # victim selection with the same RNG calls.
+                    if inline_cache:
+                        if bp >= 1.0 or (
+                            bp > 0.0 and cache._rng.random() < bp
+                        ):
+                            cstats.bypasses += 1
+                            installed = False
+                        else:
+                            if c_ways is None:
+                                c_ways = cache._tags[c_set] = (
+                                    [-1] * c_assoc
+                                )
+                                cache._use_order[c_set] = [0] * c_assoc
+                            if line in c_ways:
+                                installed = False
+                            else:
+                                try:
+                                    way = c_ways.index(-1)
+                                except ValueError:
+                                    way = int(
+                                        cache._rng.integers(c_assoc)
+                                    )
+                                    cstats.evictions += 1
+                                c_ways[way] = line
+                                cstats.insertions += 1
+                                installed = True
+                    else:
+                        installed = cache.insert(line)
+                    if installed:
+                        # home -> nearest fill; the write itself is
+                        # buffered (non-critical), so no clock advance.
+                        msgs += 1
+                        if c_nh == 2:
+                            inter_hops += h_nh
+                            inter_bits += line_bits * h_nh
+                            intra += 2
+                            intra_bits += 2 * line_bits
+                        elif c_nh == 1:
+                            intra += 1
+                            intra_bits += line_bits
+                        else:
+                            local += 1
+                        if sram_style:
+                            data_acc += 1
+                        else:
+                            fills += 1
+            # prefetch.insert: the line just missed the FIFO and nothing
+            # above touched it, so the membership re-check is settled.
+            if len(pf_fifo) >= pf_cap:
+                pf_fifo.popitem(last=False)
+                pf_evicts += 1
+            pf_fifo[line] = None
+            # l1.insert: ditto for the set (evicted victim is unused).
+            if l1_set is None:
+                l1_set = l1_sets[s_idx] = OrderedDict()
+            if len(l1_set) >= l1_assoc:
+                l1_set.popitem(last=False)
+            l1_set[line] = None
+            stall += lat
+
+        self.total_queue_delay_ns = tqd
+        l1_stats.hits += l1_hits
+        l1_stats.misses += l1_acc - l1_hits
+        pf_stats.buffer_hits += pf_hits
+        pf_stats.evictions += pf_evicts
+        pf_stats.issued += pf_acc - pf_hits
+        self.sram_stats.add_bulk(
+            l1_accesses=l1_acc,
+            prefetch_accesses=pf_acc,
+            tag_accesses=tag_acc,
+            data_cache_accesses=data_acc,
+        )
+        self.dram_stats.add_bulk(
+            reads=reads,
+            cache_fills=fills,
+            cache_reads=cache_reads,
+            tag_accesses_in_dram=tag_dram,
+        )
+        self.traffic.add_bulk(
+            messages=msgs,
+            local_accesses=local,
+            intra_transfers=intra,
+            intra_bits=intra_bits,
+            inter_hops=inter_hops,
+            inter_bits=inter_bits,
+        )
+        return stall
 
     def _direct_home_access(self, requester: int, line: int,
                             now_ns: float) -> float:
@@ -326,12 +772,41 @@ class MemorySystem:
         reads; their traffic and DRAM energy are still charged.
         """
         home = self.memory_map.home_of_line(line)
+        noc = self.interconnect
+        if (
+            self._engine == "batched"
+            and self._resilience is None
+            and noc.link_meter is None
+            and not noc.has_link_faults
+        ):
+            # Fast path: record_transfer unrolled against the cached
+            # class/hops tables (same counters, same values), and the
+            # buffered write's _dram_service(critical=False) — a no-op
+            # returning 0.0 — elided.
+            _, cls, hops = noc.fast_tables()
+            t = self.traffic
+            t.messages += 1
+            c = cls[requester][home]
+            if c == 2:
+                bits = self.config.memory.line_bits
+                h = hops[requester][home]
+                t.inter_hops += h
+                t.inter_bits += bits * h
+                t.intra_transfers += 2
+                t.intra_bits += 2 * bits
+            elif c == 1:
+                t.intra_transfers += 1
+                t.intra_bits += self.config.memory.line_bits
+            else:
+                t.local_accesses += 1
+            self.dram_stats.writes += 1
+            return 0.0
         if self._resilience is not None and self._unreachable(requester, home):
             # Lost store: the home cannot be written right now.  The
             # write buffer absorbs it, so the task does not stall.
             self._resilience.unreachable_accesses += 1
             return 0.0
-        self.interconnect.record_transfer(self.traffic, requester, home)
+        noc.record_transfer(self.traffic, requester, home)
         self.dram_stats.writes += 1
         self._dram_service(home, now_ns, critical=False)
         return 0.0

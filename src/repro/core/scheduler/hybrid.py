@@ -66,16 +66,28 @@ class HybridScheduler(Scheduler):
         self.tie_tolerance_ns = context.tie_tolerance_ns
         self.load_deadband = context.load_deadband
         self.load_floor_cycles = context.load_floor_cycles
+        # (exchange generation, vector) memo: the visible snapshot only
+        # changes at exchange boundaries, and it is the same for every
+        # observer, so between exchanges every task sees one load
+        # vector.  Only consulted under fast scoring.
+        self._load_cache = None
+        # (exchange generation, hybrid_weight * load vector) memo.
+        self._wload_cache = None
 
     def _pick(self, scores: np.ndarray, task: Task) -> int:
         alive = self.context.alive_mask
         if alive is not None:
             scores = np.where(alive, scores, np.inf)
-        best = scores.min()
-        if not np.isfinite(best):
-            # All units dead (raises below) or the hint data sits across
-            # a mesh partition from every live unit: stay by the spawner.
-            return self.context.nearest_alive(task.spawner_unit)
+            best = scores.min()
+            if not np.isfinite(best):
+                # All units dead (raises below) or the hint data sits
+                # across a mesh partition from every live unit: stay by
+                # the spawner.
+                return self.context.nearest_alive(task.spawner_unit)
+        else:
+            # Healthy machine: every score is finite by construction
+            # (finite cost matrix, finite loads).
+            best = scores.min()
         near = np.nonzero(scores <= best + self.tie_tolerance_ns)[0]
         if len(near) == 1:
             return int(near[0])
@@ -90,17 +102,37 @@ class HybridScheduler(Scheduler):
         (see WorkloadExchange.visible_workloads).
         """
         ctx = self.context
+        fast = ctx.fast_scoring
+        if fast:
+            cached = self._load_cache
+            if cached is not None and cached[0] == ctx.exchange.generation:
+                return cached[1]
         w = ctx.exchange.visible_workloads(spawner_unit)
         mean = w.mean()
         if mean <= self.load_floor_cycles:
-            return np.zeros_like(w)
-        load = w / mean - 1.0
-        load[np.abs(load) < self.load_deadband] = 0.0
+            load = np.zeros_like(w)
+        else:
+            load = w / mean - 1.0
+            load[np.abs(load) < self.load_deadband] = 0.0
+        if fast:
+            self._load_cache = (ctx.exchange.generation, load)
         return load
 
     def score_vector(self, task: Task) -> np.ndarray:
         ctx = self.context
         mem = ctx.mem_cost_vector(task, use_camps=self.use_camps)
+        if ctx.fast_scoring:
+            # B * cost_load is the same product for every task between
+            # exchanges; cache it beside the load vector.
+            cached = self._wload_cache
+            if cached is None or cached[0] != ctx.exchange.generation:
+                wload = ctx.hybrid_weight * self.load_cost_vector(
+                    task.spawner_unit
+                )
+                self._wload_cache = cached = (
+                    ctx.exchange.generation, wload
+                )
+            return mem + cached[1]
         load = self.load_cost_vector(task.spawner_unit)
         return mem + ctx.hybrid_weight * load
 

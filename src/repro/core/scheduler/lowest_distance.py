@@ -47,6 +47,53 @@ class LowestDistanceScheduler(Scheduler):
                 self._record_decision(task, unit)
             return unit
         lines = ctx.hint_lines(task)
+        if ctx.fast_scoring and ctx.alive_mask is None:
+            # Same decision arithmetic with fewer numpy dispatches: the
+            # candidate set is built in Python (sorted unique ints ==
+            # np.unique), the gather uses broadcast indexing (the same
+            # array np.ix_ produces), and the min / tie / first-argmin
+            # logic runs on the float list (list.index(min(..)) is the
+            # first minimum, exactly np.argmin's tie-break).  The whole
+            # decision is a pure function of the cost matrix and the
+            # hint, so it is memoized on the hint per cost epoch
+            # (workloads reusing hint objects then place each hint
+            # once per epoch).
+            cached = getattr(task.hint, "_ldpick", None)
+            if cached is not None and cached[0] == ctx.cost_epoch:
+                unit = cached[1]
+                if self.telemetry.enabled:
+                    self._record_decision(
+                        task, unit, cost_mem=cached[2], score=cached[2]
+                    )
+                return unit
+            homes = ctx.hint_homes(task)
+            candidates = np.array(
+                sorted(set(homes.tolist())), dtype=np.int64
+            )
+            # add.reduce(..)/L is _mean's own computation without the
+            # wrapper (same reduction, same true-divide).
+            dists = np.add.reduce(
+                ctx.cost_matrix[candidates[:, None], homes], axis=1
+            ) / homes.shape[0]
+            dl = dists.tolist()
+            best_cost = min(dl)
+            threshold = best_cost + self.tie_tolerance_ns
+            main_home = ctx.memory_map.home_unit(int(task.hint.addresses[0]))
+            cl = candidates.tolist()
+            unit = cost = None
+            for c, dv in zip(cl, dl):
+                if c == main_home and dv <= threshold:
+                    unit = main_home
+                    cost = dv
+                    break
+            if unit is None:
+                idx = dl.index(best_cost)
+                unit = cl[idx]
+                cost = best_cost
+            task.hint._ldpick = (ctx.cost_epoch, unit, cost)
+            if self.telemetry.enabled:
+                self._record_decision(task, unit, cost_mem=cost, score=cost)
+            return unit
         homes = ctx.memory_map.homes_of_lines(lines)
         candidates = np.unique(homes)
         if ctx.alive_mask is not None:

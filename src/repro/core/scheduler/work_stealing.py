@@ -84,22 +84,29 @@ def rebalance_by_stealing(
         max_steals = total_tasks  # every task may move at most ~once
 
     steals = 0
-    # Units whose queue tail proved unprofitable to steal from; they
-    # become eligible again after any successful move changes loads.
+    # Selection state, maintained incrementally: ``masked`` mirrors
+    # ``loads`` with exhausted/blocked victims at -inf (exhausted =
+    # queue tails that proved unprofitable; they become eligible again
+    # after any successful move changes loads), ``thief_scores``
+    # mirrors ``loads`` with blocked thieves at +inf.  Entries are
+    # re-assigned straight from ``loads`` whenever they change, so
+    # every argmax/argmin sees exactly the values the per-iteration
+    # rebuilds used to produce.
     exhausted = np.zeros(n, dtype=bool)
-    masked = np.empty(n, dtype=np.float64)
+    any_blocked = bool(blocked.any())
+    masked = np.where(blocked, -np.inf, loads)
+    thief_scores = np.where(blocked, np.inf, loads)
+    thief = int(np.argmin(thief_scores))
     while steals < max_steals:
-        masked[:] = loads
-        masked[exhausted | blocked] = -np.inf
         victim = int(np.argmax(masked))
-        thief = int(np.argmin(np.where(blocked, np.inf, loads)))
-        if not np.isfinite(masked[victim]):
+        if masked[victim] == -np.inf:
             break  # every victim exhausted
         if victim == thief or len(tasks_by_unit[victim]) <= cores_per_unit:
             # A unit whose queued tasks all run concurrently on its own
             # cores cannot finish earlier by giving one up; stealing
             # from it only adds migration and remote-access cost.
             exhausted[victim] = True
+            masked[victim] = -np.inf
             continue
         task = tasks_by_unit[victim][-1]  # steal the youngest task
         old_d = est_cache[task.task_id]
@@ -111,6 +118,7 @@ def rebalance_by_stealing(
             # This victim's tail is too expensive to move right now;
             # try the next-most-loaded victim instead of giving up.
             exhausted[victim] = True
+            masked[victim] = -np.inf
             continue
         tasks_by_unit[victim].pop()
         tasks_by_unit[thief].append(task)
@@ -122,5 +130,16 @@ def rebalance_by_stealing(
         loads[victim] -= old_d / cores_per_unit
         loads[thief] += new_d / cores_per_unit
         steals += 1
-        exhausted[:] = False
+        # Loads changed: un-exhaust everyone and refresh the selectors.
+        if exhausted.any():
+            exhausted[:] = False
+            masked[:] = loads
+            if any_blocked:
+                masked[blocked] = -np.inf
+        else:
+            masked[victim] = loads[victim]
+            masked[thief] = loads[thief]
+        thief_scores[victim] = loads[victim]
+        thief_scores[thief] = loads[thief]
+        thief = int(np.argmin(thief_scores))
     return steals

@@ -243,8 +243,11 @@ class FaultController:
             else self._vault_scale.copy()
         )
 
-        # Schedulers: candidate masking via the shared context.
+        # Schedulers: candidate masking via the shared context.  The
+        # epoch bump drops every scoring memo that baked in values from
+        # the (just rebuilt) cost matrix or the old liveness state.
         self.context.alive_mask = mask
+        self.context.cost_epoch += 1
 
         # Traveller camps: remap around dead units; a liveness *or*
         # distance change invalidates the memoized nearest tables.

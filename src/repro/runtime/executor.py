@@ -363,13 +363,32 @@ class BulkSyncExecutor:
         for unit in self.units:
             unit.reset_clocks(0.0)
 
+        # Hot-loop locals: every name below is loop-invariant, and the
+        # derived floats are computed once so each task reuses the very
+        # same values the per-iteration expressions produced.
+        units = self.units
+        freq = self._freq
+        hide_keep = 1.0 - self._hide
+        spacing = self._issue_spacing_ns
+        spread_cap = self._issue_spread_cap_ns
+        steal_overhead = self._steal_overhead
+        recorder = self.recorder
+        hint_lines_list = ctx.hint_lines_list
+        line_of = ctx.memory_map.line_of
+        access_many = memsys.access_many
+        mem_write = memsys.write
+        on_dequeue = self.exchange.on_dequeue
+        advance = self.exchange.advance
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+
         # Heap of (next free core time, unit id, next task index):
         # interleaves units in global time order.
         heap = [(0.0, uid, 0) for uid, tasks in enumerate(by_unit) if tasks]
         heapq.heapify(heap)
 
         while heap:
-            start, uid, idx = heapq.heappop(heap)
+            start, uid, idx = heappop(heap)
             # The heap pops in non-decreasing start order, so the pop
             # key is the phase's monotone time frontier.  (Task *finish*
             # times are not monotone — one long task would otherwise
@@ -377,31 +396,27 @@ class BulkSyncExecutor:
             global_now = clock + start
             tasks = by_unit[uid]
             task = tasks[idx]
-            unit = self.units[uid]
+            unit = units[uid]
 
             # Resolve memory accesses (prefetch-path = demand-path).
             # The prefetch unit issues the hint addresses back to back,
             # so arrivals smear at the issue rate instead of forming a
             # single burst at the serving channels.
-            now_ns = global_now / self._freq
-            stall_ns = 0.0
-            lines = ctx.hint_lines(task)
-            for i, line in enumerate(lines):
-                spread = min(i * self._issue_spacing_ns,
-                             self._issue_spread_cap_ns)
-                stall_ns += memsys.access(uid, int(line), now_ns + spread)
+            now_ns = global_now / freq
+            lines = hint_lines_list(task)
+            stall_ns = access_many(
+                uid, lines, now_ns, spacing, spread_cap,
+            )
             if task.hint.num_addresses:
                 # The task's output write (the main element's record)
                 # goes straight to the home.
-                main_line = ctx.memory_map.line_of(
-                    int(task.hint.addresses[0])
-                )
-                memsys.write(uid, main_line, now_ns)
+                main_line = line_of(int(task.hint.addresses[0]))
+                mem_write(uid, main_line, now_ns)
 
-            stall_cycles = stall_ns * self._freq * (1.0 - self._hide)
+            stall_cycles = stall_ns * freq * hide_keep
             duration = task.compute_cycles + stall_cycles
             if task.stolen:
-                duration += self._steal_overhead
+                duration += steal_overhead
 
             # Run the real task body; it may spawn children, which get
             # scheduled immediately (scheduling overlaps execution).
@@ -410,10 +425,10 @@ class BulkSyncExecutor:
             spawned = tctx.drain_spawned()
 
             finish = unit.run_task(duration)
-            if self.recorder is not None:
+            if recorder is not None:
                 from repro.runtime.trace import TaskRecord
 
-                self.recorder.record(TaskRecord(
+                recorder.record(TaskRecord(
                     task_id=task.task_id,
                     timestamp=ts,
                     spawner_unit=task.spawner_unit,
@@ -421,17 +436,17 @@ class BulkSyncExecutor:
                     start_cycles=finish - duration,
                     duration_cycles=duration,
                     stall_ns=stall_ns,
-                    hint_lines=int(lines.size),
+                    hint_lines=len(lines),
                     stolen=task.stolen,
                 ))
             trace.tasks_executed += 1
             trace.instructions += task.instructions
-            self.exchange.on_dequeue(uid, task.booked_workload)
-            self.exchange.advance(global_now)
+            on_dequeue(uid, task.booked_workload)
+            advance(global_now)
             if spawned:
                 self._schedule_tasks(spawned, pending, global_now)
 
             if idx + 1 < len(tasks):
-                heapq.heappush(heap, (unit.earliest_free(), uid, idx + 1))
+                heappush(heap, (unit.earliest_free(), uid, idx + 1))
 
         return max((u.busy_until() for u in self.units), default=0.0)

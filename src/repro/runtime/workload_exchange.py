@@ -42,10 +42,18 @@ class WorkloadExchange:
         self.topology = topology
         self.interval_cycles = float(interval_cycles)
         n = topology.num_units
-        self._true = np.zeros(n, dtype=np.float64)
+        # The true counters live in a plain Python list: they are
+        # read-modify-written a few times per task, where list item
+        # access beats ndarray item access several-fold.  Consumers of
+        # whole vectors get ndarray views/copies built from the same
+        # float values.
+        self._true = [0.0] * n
         self._snapshot = np.zeros(n, dtype=np.float64)
         self._last_exchange = 0.0
         self.stats = ExchangeStats()
+        #: bumped on every snapshot write; memo key for consumers that
+        #: cache values derived from the (stale) snapshot.
+        self.generation: int = 0
 
     # ------------------------------------------------------------------
     # true counter maintenance (enqueue/dequeue bookkeeping)
@@ -54,7 +62,8 @@ class WorkloadExchange:
         self._true[unit] += workload
 
     def on_dequeue(self, unit: int, workload: float) -> None:
-        self._true[unit] = max(0.0, self._true[unit] - workload)
+        left = self._true[unit] - workload
+        self._true[unit] = left if left > 0.0 else 0.0
 
     def move(self, src: int, dst: int, workload: float) -> None:
         """A task migrated between queues (e.g. stolen)."""
@@ -63,7 +72,7 @@ class WorkloadExchange:
 
     @property
     def true_workloads(self) -> np.ndarray:
-        v = self._true.view()
+        v = np.array(self._true)
         v.flags.writeable = False
         return v
 
@@ -97,6 +106,7 @@ class WorkloadExchange:
         if now_cycles - self._last_exchange < self.interval_cycles:
             return False
         self._snapshot[:] = self._true
+        self.generation += 1
         self._last_exchange = (
             now_cycles - (now_cycles - self._last_exchange) % self.interval_cycles
         )
@@ -106,6 +116,7 @@ class WorkloadExchange:
     def force_exchange(self, now_cycles: float = 0.0) -> None:
         """Unconditional refresh (used at timestamp boundaries)."""
         self._snapshot[:] = self._true
+        self.generation += 1
         self._last_exchange = now_cycles
         self._account_round()
 
@@ -134,10 +145,11 @@ class WorkloadExchange:
         cost_load term acts on (Equation 3), sampled by the telemetry
         subsystem to show imbalance evolving over a run.
         """
-        mean = float(self._true.mean())
+        true = np.array(self._true)
+        mean = float(true.mean())
         if mean <= 0.0:
             return 1.0
-        return float(self._true.max()) / mean
+        return float(true.max()) / mean
 
     def snapshot_skew(self) -> float:
         """W_max / W_mean as the schedulers currently see it (stale)."""
@@ -147,6 +159,7 @@ class WorkloadExchange:
         return float(self._snapshot.max()) / mean
 
     def reset(self) -> None:
-        self._true[:] = 0.0
+        self._true = [0.0] * len(self._true)
         self._snapshot[:] = 0.0
+        self.generation += 1
         self._last_exchange = 0.0

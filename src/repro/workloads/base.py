@@ -64,9 +64,10 @@ def vertex_hint(addresses: np.ndarray, v: int,
                 neighbors: np.ndarray) -> TaskHint:
     """The standard graph-workload hint: the vertex's own record plus
     its neighbors' records (used by pr, bfs, sssp and cc)."""
-    return TaskHint(
-        addresses=np.concatenate(([addresses[v]], addresses[neighbors]))
-    )
+    out = np.empty(neighbors.shape[0] + 1, dtype=np.int64)
+    out[0] = addresses[v]
+    out[1:] = addresses[neighbors]
+    return TaskHint(addresses=out)
 
 
 #: name -> zero-argument factory producing the default-sized workload.

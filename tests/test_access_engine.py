@@ -1,0 +1,135 @@
+"""Cross-engine parity: batched and scalar access engines must agree.
+
+The batched engine reorganizes the hot path (fused kernels, memoized
+camp tables, bulk counter flushes) but every stateful step — cache
+probes and installs with their RNG draws, DRAM service clocks, float
+accumulations — runs in the exact per-line order of the scalar
+reference path.  These tests pin that contract: for the same seed the
+two engines must produce **bit-identical** RunResult JSON (makespans,
+latencies, hop counts, hit rates, energy) on every design, on multiple
+workloads, and under an injected fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.arch.topology import Topology
+from repro.bench import engine_config
+from repro.config import experiment_config
+from repro.faults import make_random_schedule
+from repro.sweep.serialize import result_to_dict
+
+ENGINES = ("scalar", "batched")
+
+
+def _canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    """A 2x2-stack machine: small enough to run every design under
+    both engines, big enough to exercise camps, stealing, and the
+    hybrid scheduler's exchange machinery."""
+    return experiment_config().scaled(2, 2)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """Two access patterns: an iterative graph kernel (power-law reuse,
+    persistent per-vertex hints) and a pointwise query workload."""
+    return {
+        "pr": repro.make_workload("pr", num_vertices=1024, iterations=2),
+        "knn": repro.make_workload("knn", num_points=1024),
+    }
+
+
+@pytest.mark.parametrize("design", repro.ALL_DESIGNS)
+@pytest.mark.parametrize("workload_name", ["pr", "knn"])
+def test_engines_bit_identical(design, workload_name, base_config,
+                               workloads):
+    payloads = {
+        engine: _canonical(repro.simulate(
+            design, workloads[workload_name],
+            config=engine_config(engine, base_config),
+        ))
+        for engine in ENGINES
+    }
+    assert payloads["scalar"] == payloads["batched"], (
+        f"engines disagree on {design}/{workload_name}"
+    )
+
+
+def test_engines_bit_identical_under_faults(base_config, workloads):
+    """The batched engine must also match when a fault schedule is
+    active — the kernel falls back to the scalar flow around fault
+    state, and recovery (cache invalidation, re-execution, remaps)
+    must not depend on the engine."""
+    topo = Topology(base_config.topology,
+                    num_groups=base_config.cache.num_groups())
+    schedule = make_random_schedule(
+        topo.num_units, topo.mesh_links(),
+        unit_fails=2, link_fails=1, vault_slowdowns=1,
+        seed=base_config.seed,
+    )
+    payloads = {}
+    for engine in ENGINES:
+        result = repro.simulate(
+            "O", workloads["pr"], config=engine_config(engine, base_config),
+            fault_schedule=schedule,
+        )
+        assert result.resilience is not None
+        payloads[engine] = _canonical(result)
+    assert payloads["scalar"] == payloads["batched"]
+
+
+def test_cache_keys_and_cached_json_engine_invariant(
+        tmp_path, monkeypatch, base_config, workloads):
+    """Sweep-cache hygiene: ``access_engine`` is a non-semantic config
+    field, so both engines must address the **same** cache entry and
+    serialize the **same** bytes into it — a cache populated under the
+    scalar engine replays verbatim under the batched default.  (The
+    comparison covers the serialized result; the entry's ``meta`` side
+    carries a wall-clock creation stamp by design.)"""
+    from repro.sweep.cache import ResultCache
+    from repro.sweep.keys import run_key
+
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    workload = workloads["pr"]
+    keys = {}
+    blobs = {}
+    for engine in ENGINES:
+        cfg = engine_config(engine, base_config)
+        keys[engine] = run_key("O", workload, cfg)
+        cache = ResultCache(root=tmp_path / engine)
+        result = repro.simulate("O", workload, config=cfg)
+        cache.store(keys[engine], result)
+        stored = json.loads(cache.path_for(keys[engine]).read_text())
+        blobs[engine] = json.dumps(
+            stored["result"], sort_keys=True
+        ).encode()
+    assert keys["scalar"] == keys["batched"]
+    assert blobs["scalar"] == blobs["batched"]
+
+
+def test_version_salt_not_bumped_by_engine_work():
+    """The batched engine changed no simulation outcome (see the
+    parity tests above), so the global cache-invalidation salt must
+    stay put: every scalar-era cached result remains valid.  Bump the
+    salt — and this pin — only together with a change that alters
+    RunResults."""
+    from repro.sweep.keys import SIMULATOR_VERSION
+
+    assert SIMULATOR_VERSION == "abndp-sim-1"
+
+
+def test_scalar_engine_selectable():
+    """The reference path stays selectable via MemoryConfig."""
+    cfg = engine_config("scalar", experiment_config().scaled(2, 2))
+    assert cfg.memory.access_engine == "scalar"
+    with pytest.raises(ValueError):
+        engine_config("vectorised")
