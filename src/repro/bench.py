@@ -113,12 +113,18 @@ def bench_points(
                     f"{point['accesses_per_s']:14,.0f} accesses/s"
                 )
 
+    from repro.observatory.history import git_revision, hostname
+
     wall = sum(p["wall_s"] for p in points)
     tasks = sum(p["tasks"] for p in points)
     accesses = sum(p["accesses"] for p in points)
     return {
         "schema": SCHEMA,
         "engine": engine,
+        # trajectory provenance: which commit produced the record, and
+        # on which machine (absolute seconds only compare within a host)
+        "git_rev": git_revision(),
+        "hostname": hostname(),
         "designs": list(designs),
         "workloads": list(workloads),
         "repeats": repeats,
@@ -136,7 +142,9 @@ def bench_points(
 
 
 def next_bench_path(root: Path) -> Path:
-    """First unused ``BENCH_<n>.json`` path under ``root``."""
+    """First unused ``BENCH_<n>.json`` path under ``root`` (created
+    on demand, so ``repro bench --out DIR`` works on a fresh DIR)."""
+    root.mkdir(parents=True, exist_ok=True)
     taken = {
         int(m.group(1))
         for p in root.iterdir()

@@ -14,12 +14,20 @@
                                              # injected failures
     python -m repro bench                    # time the simulator itself
                                              # -> BENCH_<n>.json
+    python -m repro diff -1 -2               # compare the two newest
+                                             # runs in the history ledger
+    python -m repro regress                  # perf-regression scan over
+                                             # the BENCH_*.json trajectory
     python -m repro run -d O -w pr --profile # cProfile a live run
 
 Every simulation routes through the content-addressed result cache in
-``.repro_cache/`` (``--no-cache`` bypasses it); grid commands fan out
-over ``--jobs`` worker processes.  Results can be exported with
-``--csv out.csv`` / ``--json out.json``.
+``.repro_cache/`` (``--no-cache`` bypasses it) and drops a one-line
+record into the run-history ledger (``.repro_cache/history.jsonl``;
+disable with ``REPRO_NO_HISTORY``); grid commands fan out over
+``--jobs`` worker processes with a live progress line on TTYs
+(``--quiet`` / ``--no-progress`` / ``--progress-jsonl`` adjust it).
+Results can be exported with ``--csv out.csv`` / ``--json out.json``.
+See ``docs/observability.md`` for the cross-run workflow.
 """
 
 from __future__ import annotations
@@ -66,6 +74,35 @@ def _config_from_args(args) -> SystemConfig:
 def _cache_from_args(args):
     """The ``cache=`` argument for the sweep engine (False = bypass)."""
     return False if getattr(args, "no_cache", False) else "default"
+
+
+def _log_from_args(args):
+    """The status logger honouring ``--quiet`` / ``-v`` (stderr)."""
+    from repro.observatory.logging import from_flags
+
+    return from_flags(quiet=getattr(args, "quiet", False),
+                      verbose=getattr(args, "verbose", 0))
+
+
+def _events_from_args(args, log):
+    """The per-point event consumer for grid runs, or None.
+
+    ``--quiet`` silences the status renderer (a ``--progress-jsonl``
+    stream still records); ``--no-progress`` downgrades the live TTY
+    line to plain per-point lines.  Both renderers write to stderr, so
+    stdout stays parseable.
+    """
+    from repro.observatory.progress import (JsonlProgress, SweepProgress,
+                                            tee)
+
+    consumers = []
+    if not log.quiet:
+        live = False if getattr(args, "no_progress", False) else None
+        consumers.append(SweepProgress(live=live))
+    jsonl = getattr(args, "progress_jsonl", None)
+    if jsonl:
+        consumers.append(JsonlProgress(jsonl))
+    return tee(*consumers) if consumers else None
 
 
 def _telemetry_from_args(args):
@@ -205,14 +242,15 @@ def cmd_compare(args) -> int:
 
 def cmd_matrix(args) -> int:
     cfg = _config_from_args(args)
+    log = _log_from_args(args)
     report = run_matrix(
         config=cfg, cache=_cache_from_args(args), jobs=args.jobs,
-        progress=lambda msg: print(msg, flush=True),
+        events=_events_from_args(args, log),
     )
     if report.failures:
         for o in report.failures:
-            print(f"FAILED {o.point.label}: "
-                  f"{o.error.strip().splitlines()[-1]}", file=sys.stderr)
+            log.error(f"FAILED {o.point.label}: "
+                      f"{o.error.strip().splitlines()[-1]}")
         return 1
     grid = report.results()
     all_results: List[RunResult] = []
@@ -269,6 +307,7 @@ def cmd_sweep_matrix(args) -> int:
     """``python -m repro sweep`` with no parameter: the full design x
     workload matrix, parallel and cached, with machine-readable output."""
     cfg = _config_from_args(args)
+    log = _log_from_args(args)
     designs = (args.designs.split(",") if args.designs
                else list(repro.ALL_DESIGNS))
     workloads = (args.workloads.split(",") if args.workloads
@@ -276,7 +315,7 @@ def cmd_sweep_matrix(args) -> int:
     report = run_matrix(
         designs=designs, workloads=workloads, config=cfg,
         cache=_cache_from_args(args), jobs=args.jobs,
-        progress=lambda msg: print(msg, flush=True),
+        events=_events_from_args(args, log),
     )
     grid = report.results()
     complete = [w for w in workloads
@@ -307,8 +346,8 @@ def cmd_sweep_matrix(args) -> int:
     print()
     print(report.summary())
     for o in report.failures:
-        print(f"FAILED {o.point.label}: "
-              f"{o.error.strip().splitlines()[-1]}", file=sys.stderr)
+        log.error(f"FAILED {o.point.label}: "
+                  f"{o.error.strip().splitlines()[-1]}")
 
     payload = {
         "meta": {
@@ -368,10 +407,11 @@ def cmd_faults(args) -> int:
         next(iter(schedules.values())).dump(args.dump_schedule)
         print(f"wrote {args.dump_schedule}")
 
+    log = _log_from_args(args)
     campaign = run_fault_campaign(
         args.design, args.workload, schedules, config=cfg,
         cache=_cache_from_args(args), jobs=args.jobs,
-        progress=lambda msg: print(msg, flush=True),
+        events=_events_from_args(args, log),
     )
 
     header = (f"{'schedule':24} {'makespan':>14} {'slowdn':>7} {'lost':>5} "
@@ -411,15 +451,22 @@ def cmd_bench(args) -> int:
 
     if args.smoke:
         return _bench_smoke()
+    log = _log_from_args(args)
     designs = (args.designs.split(",") if args.designs
                else list(repro.ALL_DESIGNS))
     workloads = args.workloads.split(",") if args.workloads else ["pr"]
     payload = bench_points(
         args.engine, designs, workloads, config=_config_from_args(args),
-        repeats=args.repeats, progress=lambda m: print(m, flush=True),
+        repeats=args.repeats, progress=log.info,
     )
-    out = Path(args.output) if args.output else next_bench_path(Path.cwd())
+    if args.output:
+        out = Path(args.output)
+    else:
+        out = next_bench_path(Path(args.out) if args.out else Path.cwd())
     write_bench(payload, out)
+    from repro.observatory.history import record_bench
+
+    record_bench(payload, out)
     t = payload["totals"]
     print(f"wrote {out} (engine={args.engine}, total {t['wall_s']:.2f}s, "
           f"{t['tasks_per_s']:,.0f} tasks/s, "
@@ -463,6 +510,90 @@ def _bench_smoke() -> int:
     if best["batched"] > best["scalar"]:
         print("error: batched engine slower than scalar on the smoke "
               "point", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """``python -m repro diff A B``: structured run-to-run comparison.
+
+    A and B are history indices (``-1`` = newest run), run-key
+    prefixes, or paths to cached run JSON; see docs/observability.md.
+    """
+    from repro.observatory.diffing import diff_refs
+
+    diff = diff_refs(args.a, args.b, cache=_cache_from_args(args),
+                     threshold=args.threshold / 100.0)
+    if args.json_out:
+        print(_json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render(verbose=getattr(args, "verbose", 0) >= 1))
+    if args.fail_on_delta and not diff.identical:
+        return 1
+    return 0
+
+
+def cmd_regress(args) -> int:
+    """``python -m repro regress``: perf-regression detection.
+
+    Default mode scans the ``BENCH_*.json`` trajectory under ``--dir``
+    (tolerance bands + change-point scan, compatible records only);
+    ``--against BASELINE`` instead band-checks one candidate record
+    against a chosen baseline; ``--history`` adds a wall-time scan of
+    the run-history ledger.  ``--fail-on-regression`` makes the exit
+    code a CI gate.
+    """
+    from pathlib import Path
+
+    from repro.observatory import regression as reg
+
+    log = _log_from_args(args)
+    tol = args.tolerance / 100.0
+    reports = []
+    if args.against:
+        try:
+            baseline = _json.loads(Path(args.against).read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot read baseline {args.against}: {exc}")
+        if args.candidate:
+            try:
+                candidate = _json.loads(Path(args.candidate).read_text())
+            except (OSError, ValueError) as exc:
+                raise ValueError(
+                    f"cannot read candidate {args.candidate}: {exc}")
+            cand_name = args.candidate
+        else:
+            records = reg.load_bench_dir(Path(args.dir))
+            if not records:
+                raise ValueError(
+                    f"no BENCH_*.json under {args.dir!r} to use as the "
+                    f"candidate — run `python -m repro bench` first or "
+                    f"pass --candidate PATH"
+                )
+            cand_name, candidate = records[-1]
+        log.detail(f"comparing {cand_name} against {args.against} "
+                   f"(band ±{tol:.0%})")
+        reports.append(reg.compare_bench(
+            baseline, candidate, tolerance=tol,
+            baseline_name=args.against, candidate_name=cand_name,
+        ))
+    else:
+        records = reg.load_bench_dir(Path(args.dir))
+        if not records and not args.history:
+            raise ValueError(
+                f"no BENCH_*.json records under {args.dir!r} — run "
+                f"`python -m repro bench` first (or pass --history to "
+                f"scan the run ledger)"
+            )
+        reports.append(reg.scan_bench_trajectory(records, tolerance=tol))
+    if args.history:
+        reports.append(reg.scan_history(tolerance=tol))
+    report = reg.merge_reports(*reports)
+    if args.json_out:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.fail_on_regression and not report.ok:
         return 1
     return 0
 
@@ -517,6 +648,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timestamps between telemetry time-series "
                             "samples (implies instrumentation)")
 
+    def add_verbosity(p):
+        p.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress status/progress output (results "
+                            "still print to stdout)")
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more status detail (repeatable)")
+
+    def add_progress(p):
+        add_verbosity(p)
+        p.add_argument("--no-progress", action="store_true",
+                       help="plain per-point lines instead of the live "
+                            "single-line TTY status")
+        p.add_argument("--progress-jsonl", metavar="PATH", default=None,
+                       help="append machine-readable per-point progress "
+                            "events to PATH (one JSON object per line)")
+
     def add_common(p, workload=True, design=False):
         add_config(p)
         p.add_argument("--csv", help="export results to a CSV file")
@@ -570,9 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_common(sub.add_parser("compare",
                               help="all designs on one workload"))
-    add_common(sub.add_parser("matrix",
-                              help="all designs x all workloads"),
-               workload=False)
+    p_matrix = sub.add_parser("matrix", help="all designs x all workloads")
+    add_common(p_matrix, workload=False)
+    add_progress(p_matrix)
 
     p_faults = sub.add_parser(
         "faults",
@@ -596,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--dump-schedule", metavar="PATH",
                           help="write the generated schedule to a JSON file")
     add_common(p_faults, workload=False)
+    add_progress(p_faults)
 
     p_bench = sub.add_parser(
         "bench",
@@ -616,12 +764,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "is kept (default: 2)")
     p_bench.add_argument("--output", metavar="PATH", default=None,
                          help="record path (default: next free "
-                              "BENCH_<n>.json in the current directory)")
+                              "BENCH_<n>.json under --out)")
+    p_bench.add_argument("--out", metavar="DIR", default=None,
+                         help="directory for the auto-numbered "
+                              "BENCH_<n>.json (default: current "
+                              "directory; created on demand)")
     p_bench.add_argument("--smoke", action="store_true",
                          help="run one small point under both engines; "
                               "fail on result mismatch or a batched "
                               "slowdown")
     add_config(p_bench)
+    add_verbosity(p_bench)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -638,6 +791,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--output", default="sweep_results.json",
                          help="machine-readable matrix output path")
     add_common(p_sweep, design=True)
+    add_progress(p_sweep)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two recorded runs (history indices like -1/-2, "
+             "run-key prefixes, or cached-run JSON paths)",
+    )
+    p_diff.add_argument("a", help="baseline run reference")
+    p_diff.add_argument("b", help="candidate run reference")
+    p_diff.add_argument("--threshold", type=float, default=0.1,
+                        metavar="PCT",
+                        help="relative change (percent) below which a "
+                             "delta is noise (default: 0.1)")
+    p_diff.add_argument("--json", dest="json_out", action="store_true",
+                        help="emit the structured diff as JSON")
+    p_diff.add_argument("--fail-on-delta", action="store_true",
+                        help="exit 1 when any semantic metric differs")
+    p_diff.add_argument("--no-cache", action="store_true",
+                        help="resolve references without the result cache")
+    add_verbosity(p_diff)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="perf-regression scan over BENCH_*.json records "
+             "(tolerance bands + change-point detection)",
+    )
+    p_regress.add_argument("--against", metavar="BASELINE",
+                           help="band-check one candidate record against "
+                                "this baseline BENCH_*.json instead of "
+                                "scanning the whole trajectory")
+    p_regress.add_argument("--candidate", metavar="PATH", default=None,
+                           help="candidate record for --against "
+                                "(default: the newest BENCH_<n>.json "
+                                "under --dir)")
+    p_regress.add_argument("--dir", default=".", metavar="DIR",
+                           help="directory holding the BENCH_*.json "
+                                "trajectory (default: current directory)")
+    p_regress.add_argument("--tolerance", type=float, default=10.0,
+                           metavar="PCT",
+                           help="allowed regression band, percent "
+                                "(default: 10)")
+    p_regress.add_argument("--history", action="store_true",
+                           help="also scan wall times in the run-history "
+                                "ledger")
+    p_regress.add_argument("--json", dest="json_out", action="store_true",
+                           help="emit the report as JSON")
+    p_regress.add_argument("--fail-on-regression", action="store_true",
+                           help="exit 1 when any regression is flagged")
+    add_verbosity(p_regress)
 
     return parser
 
@@ -652,6 +854,8 @@ _COMMANDS = {
     "faults": cmd_faults,
     "bench": cmd_bench,
     "sweep": cmd_sweep,
+    "diff": cmd_diff,
+    "regress": cmd_regress,
 }
 
 

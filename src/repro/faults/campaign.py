@@ -64,6 +64,7 @@ def run_fault_campaign(
     cache="default",
     jobs: Optional[int] = None,
     progress=None,
+    events=None,
 ) -> CampaignResult:
     """Run ``workload`` on ``design`` healthy and under each schedule.
 
@@ -71,6 +72,13 @@ def run_fault_campaign(
     ``f1``, ...), or a ``{label: schedule}`` dict.  All points (healthy
     reference included) go through the sweep engine, so repeated
     campaigns hit the cache and a crashing point is captured, not fatal.
+
+    ``progress`` takes the legacy per-point text lines; ``events``
+    takes the typed per-point stream of
+    :mod:`repro.observatory.progress` (cached/done/failed, live TTY
+    status).  Every point also lands in the run-history ledger via the
+    sweep engine, so campaigns show up in ``repro diff`` / ``repro
+    regress --history`` like any other run.
     """
     if isinstance(schedules, FaultSchedule):
         schedules = {"f0": schedules}
@@ -91,7 +99,8 @@ def run_fault_campaign(
         for label in labels
     )
 
-    runner = SweepRunner(cache=cache, jobs=jobs, progress=progress)
+    runner = SweepRunner(cache=cache, jobs=jobs, progress=progress,
+                         events=events)
     report = runner.run(points)
 
     healthy_outcome = report.outcomes[0]

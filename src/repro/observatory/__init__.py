@@ -1,0 +1,75 @@
+"""repro.observatory — cross-run observability (docs/observability.md).
+
+Four pieces, layered on top of the sweep cache and telemetry without
+touching either's on-disk formats:
+
+* :mod:`repro.observatory.history` — the append-only run-history
+  ledger (``.repro_cache/history.jsonl``) written automatically by
+  every simulation;
+* :mod:`repro.observatory.diffing` — the run-to-run diff engine
+  behind ``python -m repro diff A B``;
+* :mod:`repro.observatory.regression` — tolerance bands and the
+  e-divisive-lite change-point scan behind ``python -m repro regress``
+  and the CI ``regression-gate``;
+* :mod:`repro.observatory.progress` / ``.logging`` — live sweep
+  progress events and the ``--quiet``/``-v`` status logger.
+
+Submodules are loaded lazily (PEP 562): ``repro.sweep.runner`` imports
+:mod:`~repro.observatory.progress` while the ``repro.sweep`` package
+is still initializing, and an eager import of the diff engine here
+(which needs the fully-built sweep package) would complete that
+circle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_EXPORTS = {
+    # history
+    "HistoryLedger": "repro.observatory.history",
+    "RunRecord": "repro.observatory.history",
+    "default_ledger": "repro.observatory.history",
+    "git_revision": "repro.observatory.history",
+    "record_run": "repro.observatory.history",
+    "record_bench": "repro.observatory.history",
+    # diffing
+    "MetricDelta": "repro.observatory.diffing",
+    "RunDiff": "repro.observatory.diffing",
+    "RunHandle": "repro.observatory.diffing",
+    "diff_refs": "repro.observatory.diffing",
+    "diff_runs": "repro.observatory.diffing",
+    "resolve_ref": "repro.observatory.diffing",
+    # regression
+    "ChangePoint": "repro.observatory.regression",
+    "Finding": "repro.observatory.regression",
+    "RegressionReport": "repro.observatory.regression",
+    "changepoints": "repro.observatory.regression",
+    "compare_bench": "repro.observatory.regression",
+    "scan_bench_trajectory": "repro.observatory.regression",
+    "scan_history": "repro.observatory.regression",
+    # progress / logging
+    "EventCollector": "repro.observatory.progress",
+    "JsonlProgress": "repro.observatory.progress",
+    "ProgressEvent": "repro.observatory.progress",
+    "SweepProgress": "repro.observatory.progress",
+    "tee": "repro.observatory.progress",
+    "Log": "repro.observatory.logging",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.observatory' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

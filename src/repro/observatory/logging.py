@@ -1,0 +1,64 @@
+"""Verbosity-aware status logging for batch commands.
+
+The CLI's grid commands used to ``print`` their per-point progress to
+stdout, interleaving status chatter with the result tables that JSON
+consumers parse.  :class:`Log` routes status to **stderr** and honours
+the shared ``--quiet`` / ``-v`` flags:
+
+* ``info``    — normal status lines (suppressed by ``--quiet``);
+* ``detail``  — extra diagnostics (shown from ``-v`` up);
+* ``warn``    — always shown, prefixed ``warning:``;
+* ``error``   — always shown, prefixed ``error:``.
+
+stdout stays reserved for results (tables, summaries, exported JSON
+paths), so ``python -m repro sweep ... > results.txt`` captures data,
+not progress noise.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+class Log:
+    """A tiny leveled logger writing to one stream (default stderr)."""
+
+    def __init__(self, verbosity: int = 0,
+                 stream: Optional[IO[str]] = None):
+        #: -1 = quiet, 0 = normal, >=1 = verbose.
+        self.verbosity = verbosity
+        self.stream = stream if stream is not None else sys.stderr
+
+    # ------------------------------------------------------------------
+    @property
+    def quiet(self) -> bool:
+        return self.verbosity < 0
+
+    def _emit(self, msg: str) -> None:
+        try:
+            print(msg, file=self.stream, flush=True)
+        except (OSError, ValueError):
+            pass  # a closed/broken status stream never fails a run
+
+    # ------------------------------------------------------------------
+    def info(self, msg: str) -> None:
+        if self.verbosity >= 0:
+            self._emit(msg)
+
+    def detail(self, msg: str) -> None:
+        if self.verbosity >= 1:
+            self._emit(msg)
+
+    def warn(self, msg: str) -> None:
+        self._emit(f"warning: {msg}")
+
+    def error(self, msg: str) -> None:
+        self._emit(f"error: {msg}")
+
+
+def from_flags(quiet: bool = False, verbose: int = 0,
+               stream: Optional[IO[str]] = None) -> Log:
+    """Build a :class:`Log` from the CLI's ``--quiet`` / ``-v`` flags
+    (``--quiet`` wins when both are given)."""
+    return Log(verbosity=-1 if quiet else int(verbose or 0), stream=stream)

@@ -1,0 +1,227 @@
+"""Live progress for sweep runs: typed per-point events and renderers.
+
+The sweep runner (:class:`repro.sweep.runner.SweepRunner`) emits one
+:class:`ProgressEvent` per state change — sweep begin/end, point
+started / cached / done / retried / failed — through an ``events``
+callback.  This module provides the consumers:
+
+* :class:`SweepProgress` — a single-line TTY status (points done/total,
+  cache hit rate, failures, ETA) that degrades to plain per-point
+  lines on non-TTY streams, and to silence under ``--quiet``;
+* :class:`JsonlProgress` — a machine-readable one-event-per-line JSONL
+  stream (``--progress-jsonl``);
+* :func:`tee` — fan one event out to several consumers.
+
+Everything here is side-effect-only observability: a renderer that
+throws (closed pipe, full disk) never fails the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import IO, Callable, List, Optional
+
+
+@dataclass
+class ProgressEvent:
+    """One state change of a sweep run.
+
+    ``event`` is one of ``begin`` (sweep starts; ``total``/``jobs``
+    set), ``started`` (a point was dispatched to a worker), ``cached``
+    / ``done`` / ``retried`` / ``failed`` (a point resolved; ``done``
+    counts points resolved so far), and ``end`` (sweep finished;
+    ``elapsed_s`` is the whole sweep).
+    """
+
+    event: str
+    label: str = ""
+    index: int = -1
+    done: int = 0
+    total: int = 0
+    jobs: int = 0
+    source: str = ""
+    elapsed_s: float = 0.0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in asdict(self).items()
+                if v not in ("", -1) or k == "event"}
+
+
+EventFn = Callable[[ProgressEvent], None]
+
+
+def tee(*consumers: Optional[EventFn]) -> EventFn:
+    """One event callback fanning out to every non-None consumer."""
+    active: List[EventFn] = [c for c in consumers if c is not None]
+
+    def _fan(event: ProgressEvent) -> None:
+        for consumer in active:
+            try:
+                consumer(event)
+            except Exception:
+                pass  # observability must never fail the sweep
+
+    return _fan
+
+
+class SweepProgress:
+    """Renders progress events as a live status line (or plain lines).
+
+    ``live=None`` auto-detects: the single-line ``\\r``-refreshing
+    status is used only when ``stream`` is a TTY; otherwise each
+    resolving point logs one plain line (CI logs stay readable and
+    stdout JSON consumers see nothing — the stream defaults to
+    stderr).  ``enabled=False`` (``--quiet``) silences both.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 live: Optional[bool] = None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            try:
+                live = bool(self.stream.isatty())
+            except (AttributeError, ValueError):
+                live = False
+        self.live = live
+        self.enabled = enabled
+        # counters maintained from the event stream
+        self.total = 0
+        self.jobs = 1
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self.started = 0
+        self.live_done = 0
+        self._live_elapsed = 0.0
+        self._t_begin: Optional[float] = None
+        self._t_first_live: Optional[float] = None
+        self._last_len = 0
+
+    # ------------------------------------------------------------------
+    def __call__(self, ev: ProgressEvent) -> None:
+        if ev.event == "begin":
+            self.total = ev.total
+            self.jobs = max(1, ev.jobs)
+            self._t_begin = time.time()
+        elif ev.event == "started":
+            self.started += 1
+            if self._t_first_live is None:
+                self._t_first_live = time.time()
+        elif ev.event == "cached":
+            self.done = ev.done
+            self.cached += 1
+        elif ev.event in ("done", "retried"):
+            self.done = ev.done
+            self.live_done += 1
+            self._live_elapsed += ev.elapsed_s
+        elif ev.event == "failed":
+            self.done = ev.done
+            self.failed += 1
+        if not self.enabled:
+            return
+        if self.live:
+            self._render_line(final=ev.event == "end")
+        else:
+            self._render_plain(ev)
+
+    # ------------------------------------------------------------------
+    def eta_s(self) -> Optional[float]:
+        """Seconds until the sweep finishes, from live completions."""
+        remaining = self.total - self.done
+        if remaining <= 0 or self.live_done == 0 or \
+                self._t_first_live is None:
+            return None
+        rate = self.live_done / max(1e-9, time.time() - self._t_first_live)
+        return remaining / rate if rate > 0 else None
+
+    def status_line(self) -> str:
+        resolved = max(1, self.done)
+        parts = [f"sweep {self.done}/{self.total}"]
+        parts.append(f"{self.cached} cached "
+                     f"({self.cached / resolved:.0%} hits)")
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        return " | ".join(parts)
+
+    # ------------------------------------------------------------------
+    def _write(self, text: str) -> None:
+        try:
+            self.stream.write(text)
+            self.stream.flush()
+        except (OSError, ValueError):
+            self.enabled = False
+
+    def _render_line(self, final: bool = False) -> None:
+        line = self.status_line()
+        pad = max(0, self._last_len - len(line))
+        self._last_len = len(line)
+        self._write("\r" + line + " " * pad + ("\n" if final else ""))
+
+    def _render_plain(self, ev: ProgressEvent) -> None:
+        if ev.event == "cached":
+            self._write(f"[{ev.done}/{ev.total}] {ev.label:16} cached\n")
+        elif ev.event == "done":
+            self._write(f"[{ev.done}/{ev.total}] {ev.label:16} "
+                        f"ran {ev.elapsed_s:.1f}s\n")
+        elif ev.event == "retried":
+            self._write(f"[{ev.done}/{ev.total}] {ev.label:16} "
+                        f"retried ok ({ev.elapsed_s:.1f}s)\n")
+        elif ev.event == "failed":
+            last = ev.error.strip().splitlines()[-1] if ev.error else "?"
+            self._write(f"[{ev.done}/{ev.total}] {ev.label:16} "
+                        f"FAILED: {last}\n")
+        elif ev.event == "end":
+            self._write(self.status_line() + "\n")
+
+
+class JsonlProgress:
+    """Appends every event as one JSON line (``--progress-jsonl``)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+        self.events_written = 0
+        self._broken = False
+
+    def __call__(self, ev: ProgressEvent) -> None:
+        if self._broken:
+            return
+        try:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            payload = dict(ev.to_dict(), t=round(time.time(), 3))
+            self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._fh.flush()
+            self.events_written += 1
+            if ev.event == "end":
+                self.close()
+        except OSError:
+            self._broken = True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+
+@dataclass
+class EventCollector:
+    """Test/debug helper: records every event it sees."""
+
+    events: List[ProgressEvent] = field(default_factory=list)
+
+    def __call__(self, ev: ProgressEvent) -> None:
+        self.events.append(ev)
+
+    def kinds(self) -> List[str]:
+        return [e.event for e in self.events]

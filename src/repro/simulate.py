@@ -10,6 +10,7 @@ paper's Table 1 configuration, optionally overridden.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import RunResult
@@ -71,7 +72,18 @@ def simulate(
         config = experiment_config()
     system = build_system(design, config, telemetry=telemetry,
                           fault_schedule=fault_schedule)
-    return system.run(wl, verify=verify)
+    t0 = time.perf_counter()
+    result = system.run(wl, verify=verify)
+    wall_s = time.perf_counter() - t0
+    # Cross-run bookkeeping (docs/observability.md): one compact line
+    # in the history ledger.  Best-effort and non-semantic — the result
+    # object, run keys, and cached bytes are untouched, and a disabled
+    # or unwritable ledger never fails the run.
+    from repro.observatory.history import record_run
+
+    record_run(result, config=config, workload=wl, wall_s=wall_s,
+               source="simulate", fault_schedule=fault_schedule)
+    return result
 
 
 def compare_designs(

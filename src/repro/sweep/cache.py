@@ -49,6 +49,7 @@ class CacheStats:
     corrupt: int = 0      # unreadable entries invalidated (then re-run)
     uncacheable: int = 0  # points whose key could not be computed
     io_errors: int = 0    # swallowed filesystem failures
+    sidecar_skips: int = 0  # telemetry sidecars left untouched (same bytes)
 
     def summary(self) -> str:
         parts = [f"{self.hits} hits", f"{self.misses} misses"]
@@ -60,6 +61,8 @@ class CacheStats:
             parts.append(f"{self.uncacheable} uncacheable")
         if self.io_errors:
             parts.append(f"{self.io_errors} io errors")
+        if self.sidecar_skips:
+            parts.append(f"{self.sidecar_skips} sidecars unchanged")
         return ", ".join(parts)
 
 
@@ -162,11 +165,22 @@ class ResultCache:
         """Persist a telemetry-summary dict next to the result entry.
 
         Same error policy as :meth:`store`: failures are swallowed and
-        accounted, never raised.
+        accounted, never raised.  Re-instrumenting a deterministic run
+        reproduces the same summary, so a sidecar whose bytes would
+        not change is left untouched — its mtime keeps meaning "when
+        this telemetry was first captured" and repeated ``repro
+        trace`` runs stop churning the cache directory.
         """
         if not self._active():
             return
         path = self.telemetry_path_for(key)
+        blob = json.dumps(summary)
+        try:
+            if path.exists() and path.read_text() == blob:
+                self.stats.sidecar_skips += 1
+                return
+        except OSError:
+            pass  # unreadable sidecar: fall through and rewrite it
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -174,7 +188,7 @@ class ResultCache:
             )
             try:
                 with os.fdopen(fd, "w") as fh:
-                    json.dump(summary, fh)
+                    fh.write(blob)
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):

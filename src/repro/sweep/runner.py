@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import RunResult
 from repro.config import SystemConfig, experiment_config
+from repro.observatory.progress import EventFn, ProgressEvent
 from repro.sweep.cache import ResultCache, resolve_cache
 from repro.sweep.keys import UncacheableError, run_key
 from repro.sweep.serialize import result_from_dict, result_to_dict
@@ -39,6 +40,19 @@ from repro.workloads.base import Workload, make_workload
 
 ProgressFn = Callable[[str], None]
 CacheLike = Union[ResultCache, bool, str, None]
+
+
+def _record_history(result: RunResult, workload, config,
+                    key: Optional[str], wall_s: float) -> None:
+    """Best-effort run-history line for a cache hit resolved here.
+
+    Live runs record themselves inside :func:`repro.simulate.simulate`
+    (including in worker processes); only hits bypass that path.
+    """
+    from repro.observatory.history import record_run
+
+    record_run(result, config=config, workload=workload, wall_s=wall_s,
+               source="cache", key=key)
 
 
 def _live_simulate(design: str, workload, config, telemetry=None,
@@ -105,8 +119,11 @@ def cached_simulate(
     key = _point_key(design, workload, config, store,
                      fault_schedule=fault_schedule)
     if key is not None and live_tel is None:
+        t0 = time.perf_counter()
         hit = store.load(key)
         if hit is not None:
+            _record_history(hit, workload, config, key,
+                            time.perf_counter() - t0)
             return hit
     if live_tel is not None or fault_schedule:
         result = _live_simulate(design, workload, config, telemetry=live_tel,
@@ -249,6 +266,14 @@ class SweepRunner:
     once, serially in the parent (where its traceback is easiest to
     read); a point that fails twice is recorded in the report and the
     sweep continues.
+
+    Two progress channels, both optional and both fed from the parent
+    process: ``progress`` receives the legacy per-point text lines,
+    ``events`` receives typed
+    :class:`~repro.observatory.progress.ProgressEvent` objects
+    (begin / started / cached / done / retried / failed / end) — the
+    feed behind the live TTY status line and ``--progress-jsonl``.
+    A consumer that raises is disabled, never fatal.
     """
 
     def __init__(
@@ -257,16 +282,26 @@ class SweepRunner:
         jobs: Optional[int] = None,
         retries: int = 1,
         progress: Optional[ProgressFn] = None,
+        events: Optional[EventFn] = None,
     ):
         self.cache = resolve_cache(cache)
         self.jobs = jobs
         self.retries = retries
         self.progress = progress
+        self.events = events
 
     # ------------------------------------------------------------------
     def _say(self, msg: str) -> None:
         if self.progress is not None:
             self.progress(msg)
+
+    def _emit(self, **kwargs) -> None:
+        if self.events is None:
+            return
+        try:
+            self.events(ProgressEvent(**kwargs))
+        except Exception:
+            self.events = None  # a broken consumer never fails the sweep
 
     def _run_serial_once(self, point: SweepPoint) -> RunResult:
         if point.fault_schedule:
@@ -292,6 +327,9 @@ class SweepRunner:
                     f"[{done}/{total}] {outcome.point.label:16} "
                     f"retried ok ({outcome.elapsed_s:.1f}s)"
                 )
+                self._emit(event="retried", label=outcome.point.label,
+                           done=done, total=total, source="retry",
+                           elapsed_s=outcome.elapsed_s)
                 return
             except BaseException:
                 outcome.error = traceback.format_exc()
@@ -300,6 +338,8 @@ class SweepRunner:
             f"[{done}/{total}] {outcome.point.label:16} "
             f"FAILED after retry: {outcome.error.strip().splitlines()[-1]}"
         )
+        self._emit(event="failed", label=outcome.point.label, done=done,
+                   total=total, source="failed", error=outcome.error or "")
 
     # ------------------------------------------------------------------
     def run(self, points: Sequence[SweepPoint]) -> SweepReport:
@@ -307,6 +347,8 @@ class SweepRunner:
         points = list(points)
         total = len(points)
         outcomes = [PointOutcome(point=p) for p in points]
+        planned = self.jobs if self.jobs is not None else os.cpu_count() or 1
+        self._emit(event="begin", total=total, jobs=max(1, planned))
 
         # 1. resolve cache hits in the parent
         pending: List[int] = []
@@ -316,12 +358,18 @@ class SweepRunner:
                 point.design, point.workload, point.resolved_config(),
                 self.cache, fault_schedule=point.fault_schedule,
             )
+            t0 = time.time()
             hit = self.cache.load(outcome.key) if outcome.key else None
             if hit is not None:
                 outcome.result = hit
                 outcome.source = "cache"
                 done += 1
                 self._say(f"[{done}/{total}] {point.label:16} cached")
+                self._emit(event="cached", label=point.label, index=i,
+                           done=done, total=total, source="cache")
+                _record_history(hit, point.workload,
+                                point.resolved_config(), outcome.key,
+                                time.time() - t0)
             else:
                 pending.append(i)
 
@@ -331,6 +379,8 @@ class SweepRunner:
         if jobs <= 1:
             for i in pending:
                 outcome = outcomes[i]
+                self._emit(event="started", label=points[i].label,
+                           index=i, done=done, total=total)
                 t0 = time.time()
                 try:
                     outcome.result = self._run_serial_once(points[i])
@@ -341,6 +391,9 @@ class SweepRunner:
                         f"[{done}/{total}] {points[i].label:16} "
                         f"ran {outcome.elapsed_s:.1f}s"
                     )
+                    self._emit(event="done", label=points[i].label,
+                               index=i, done=done, total=total,
+                               source="run", elapsed_s=outcome.elapsed_s)
                 except BaseException:
                     outcome.error = traceback.format_exc()
                     done += 1
@@ -351,6 +404,9 @@ class SweepRunner:
                     self._retry(outcome, done, total)
         elif pending:
             payloads = [_worker_payload(i, points[i]) for i in pending]
+            for i in pending:
+                self._emit(event="started", label=points[i].label,
+                           index=i, done=done, total=total)
             failed: List[int] = []
             with multiprocessing.Pool(processes=jobs) as pool:
                 for idx, rdict, err, dt in pool.imap_unordered(
@@ -366,6 +422,9 @@ class SweepRunner:
                             f"[{done}/{total}] {points[idx].label:16} "
                             f"ran {dt:.1f}s"
                         )
+                        self._emit(event="done", label=points[idx].label,
+                                   index=idx, done=done, total=total,
+                                   source="run", elapsed_s=dt)
                     else:
                         outcome.error = err
                         failed.append(idx)
@@ -388,9 +447,11 @@ class SweepRunner:
                         },
                     )
 
+        elapsed = time.time() - t_start
+        self._emit(event="end", done=done, total=total, elapsed_s=elapsed)
         return SweepReport(
             outcomes=outcomes,
-            elapsed_s=time.time() - t_start,
+            elapsed_s=elapsed,
             cache=self.cache,
         )
 
@@ -436,7 +497,9 @@ def run_matrix(
     cache: CacheLike = "default",
     jobs: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    events: Optional[EventFn] = None,
 ) -> SweepReport:
     """Run the full design/workload matrix, parallel and cached."""
-    runner = SweepRunner(cache=cache, jobs=jobs, progress=progress)
+    runner = SweepRunner(cache=cache, jobs=jobs, progress=progress,
+                         events=events)
     return runner.run(matrix_points(designs, workloads, config))

@@ -24,6 +24,9 @@ never need ``None`` checks.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence
 
@@ -78,6 +81,33 @@ class TelemetrySummary:
             link_matrix=data.get("link_matrix"),
             meta=dict(data.get("meta", {})),
         )
+
+    def digest(self, max_counters: int = 32) -> Dict[str, Any]:
+        """A compact identity + headline digest for cross-run records.
+
+        The run-history ledger (:mod:`repro.observatory.history`)
+        stores this instead of the full summary so ledger lines stay
+        small enough for atomic concurrent appends.  ``sha`` is a
+        content hash of the *whole* summary — two digests with equal
+        hashes describe identical telemetry; the ``counters`` subset
+        keeps system-level headline values (per-unit detail dropped).
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        per_unit = re.compile(r"(^|\.)u\d+(\.|$)")
+        head: Dict[str, float] = {}
+        for name in sorted(self.counters):
+            if per_unit.search(name):
+                continue
+            head[name] = self.counters[name]
+            if len(head) >= max_counters:
+                break
+        return {
+            "sha": hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16],
+            "counters": head,
+            "events": self.events,
+            "samples": self.samples,
+        }
 
 
 class Telemetry:
