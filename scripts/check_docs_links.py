@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Check that every relative Markdown link in the docs resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for inline links and validates:
+
+* relative file targets exist (resolved against the linking file's
+  directory);
+* ``#fragment`` targets — both same-file and cross-file — match a
+  heading in the target document, using GitHub's anchor slugging
+  (lowercase, spaces to dashes, punctuation dropped);
+* bare ``BENCH_*.json`` / top-level file references inside code spans
+  are ignored (only ``[text](target)`` links are checked).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+CI must not depend on the network.  Exits non-zero listing every
+broken link.  Run from anywhere: paths are anchored to the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images is unnecessary (same resolution
+# rules), but ignore links inside fenced code blocks below.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor transformation (ASCII subset)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    # drop markdown emphasis and trailing anchors
+    text = re.sub(r"[*_]", "", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    seen: dict[str, int] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    errors: list[str] = []
+    for src in files:
+        for lineno, target in iter_links(src):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{src.relative_to(REPO)}:{lineno}"
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                dest = (src.parent / file_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{where}: broken link -> {target}")
+                    continue
+            else:
+                dest = src
+            if fragment:
+                if dest.suffix != ".md":
+                    continue  # anchors only checked in markdown
+                if fragment not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: missing anchor -> {target}"
+                    )
+    if errors:
+        print(f"{len(errors)} broken docs link(s):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(f"docs links ok ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

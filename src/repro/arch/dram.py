@@ -41,13 +41,16 @@ class DramStats:
         cache_fills: int = 0,
         cache_reads: int = 0,
         tag_accesses_in_dram: int = 0,
+        writes: int = 0,
     ) -> None:
-        """Fold a batch of pre-aggregated read-path events in at once
-        (the batched access engine's single flush per hint batch)."""
+        """Fold a batch of pre-aggregated events in at once (the
+        batched engine's single flush per hint batch; the vector phase
+        engine also folds the phase's buffered output writes)."""
         self.reads += reads
         self.cache_fills += cache_fills
         self.cache_reads += cache_reads
         self.tag_accesses_in_dram += tag_accesses_in_dram
+        self.writes += writes
 
     def merge(self, other: "DramStats") -> None:
         self.reads += other.reads

@@ -49,8 +49,17 @@ class NdpUnit:
         Returns the completion time of the task.  ``start_floor`` lower-
         bounds the start (e.g. the phase start after a barrier).
         """
-        core = int(np.argmin(self.core_free_at))
-        start = max(float(self.core_free_at[core]), start_floor)
+        # First-minimum scan: identical pick to np.argmin, without the
+        # ufunc dispatch overhead (units have a handful of cores and
+        # this is the hottest per-task call in the executor).
+        free = self.core_free_at
+        core = 0
+        best = free[0]
+        for c in range(1, self.num_cores):
+            if free[c] < best:
+                best = free[c]
+                core = c
+        start = max(float(best), start_floor)
         finish = start + duration_cycles
         self.core_free_at[core] = finish
         self.active_cycles += duration_cycles

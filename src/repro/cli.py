@@ -68,6 +68,11 @@ def _config_from_args(args) -> SystemConfig:
         if args.bypass is not None:
             cache_over["bypass_probability"] = args.bypass
         cfg = cfg.with_(cache=dataclasses.replace(cfg.cache, **cache_over))
+    engine = getattr(args, "engine", None)
+    if engine:
+        cfg = cfg.with_(
+            memory=dataclasses.replace(cfg.memory, access_engine=engine)
+        )
     return cfg.validate()
 
 
@@ -443,7 +448,7 @@ def cmd_faults(args) -> int:
 def cmd_bench(args) -> int:
     """``python -m repro bench``: time the simulator itself (see
     docs/performance.md) and record a ``BENCH_<n>.json`` at the repo
-    root; ``--smoke`` instead cross-checks the two access engines on
+    root; ``--smoke`` instead cross-checks the three access engines on
     one small point (CI's perf gate)."""
     from pathlib import Path
 
@@ -475,11 +480,17 @@ def cmd_bench(args) -> int:
 
 
 def _bench_smoke() -> int:
-    """One small point (O/pr on a 2x2 mesh) under both engines: results
-    must match bit-for-bit and the batched engine must not be slower."""
+    """One small point (O/pr on a 2x2 mesh) under all three engines.
+
+    Scalar and batched must match bit-for-bit; vector must land inside
+    its statistical-equivalence bands (docs/engines.md); and each tier
+    must not be slower than the one before it (scalar >= batched >=
+    vector wall time).
+    """
     import time
 
     from repro.bench import engine_config
+    from repro.core.vector_engine import ENERGY_BAND, MAKESPAN_BAND
     from repro.simulate import simulate
     from repro.sweep.serialize import result_to_dict
     from repro.workloads.base import make_workload
@@ -488,7 +499,8 @@ def _bench_smoke() -> int:
     workload = make_workload("pr")
     best: Dict[str, float] = {}
     payload: Dict[str, str] = {}
-    for engine in ("scalar", "batched"):
+    results: Dict[str, object] = {}
+    for engine in ("scalar", "batched", "vector"):
         cfg = engine_config(engine, base)
         simulate("O", workload, config=cfg)  # warmup
         best[engine] = float("inf")
@@ -498,17 +510,37 @@ def _bench_smoke() -> int:
             best[engine] = min(best[engine], time.process_time() - t0)
         payload[engine] = _json.dumps(result_to_dict(result),
                                       sort_keys=True)
+        results[engine] = result
     identical = payload["scalar"] == payload["batched"]
+    mk_ratio = (results["vector"].makespan_cycles
+                / results["batched"].makespan_cycles)
+    en_ratio = (results["vector"].energy.total_pj
+                / results["batched"].energy.total_pj)
     ratio = best["scalar"] / best["batched"]
+    vratio = best["batched"] / best["vector"]
     print(f"bench smoke O/pr mesh=2x2: scalar={best['scalar']:.2f}s "
-          f"batched={best['batched']:.2f}s speedup={ratio:.2f}x "
-          f"results {'identical' if identical else 'DIFFER'}")
+          f"batched={best['batched']:.2f}s ({ratio:.2f}x) "
+          f"vector={best['vector']:.2f}s ({vratio:.2f}x) "
+          f"scalar/batched {'identical' if identical else 'DIFFER'}, "
+          f"vector mk x{mk_ratio:.4f} energy x{en_ratio:.4f}")
     if not identical:
-        print("error: engines disagree on the same seeded point",
+        print("error: exact engines disagree on the same seeded point",
               file=sys.stderr)
+        return 1
+    if abs(mk_ratio - 1.0) > MAKESPAN_BAND:
+        print(f"error: vector makespan ratio {mk_ratio:.4f} outside "
+              f"the +/-{MAKESPAN_BAND:.0%} band", file=sys.stderr)
+        return 1
+    if abs(en_ratio - 1.0) > ENERGY_BAND:
+        print(f"error: vector energy ratio {en_ratio:.4f} outside "
+              f"the +/-{ENERGY_BAND:.0%} band", file=sys.stderr)
         return 1
     if best["batched"] > best["scalar"]:
         print("error: batched engine slower than scalar on the smoke "
+              "point", file=sys.stderr)
+        return 1
+    if best["vector"] > best["batched"]:
+        print("error: vector engine slower than batched on the smoke "
               "point", file=sys.stderr)
         return 1
     return 0
@@ -688,6 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one design/workload")
     add_common(p_run, design=True)
     add_telemetry(p_run)
+    p_run.add_argument("--engine", default=None,
+                       choices=["scalar", "batched", "vector"],
+                       help="access engine tier (default: batched; "
+                            "see docs/engines.md)")
     p_run.add_argument("--verify", action="store_true",
                        help="check the computed answer")
     p_run.add_argument("--profile", action="store_true",
@@ -750,7 +786,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the simulator itself and record BENCH_<n>.json "
              "(--smoke: cross-engine CI gate on one small point)",
     )
-    p_bench.add_argument("--engine", choices=["scalar", "batched"],
+    p_bench.add_argument("--engine",
+                         choices=["scalar", "batched", "vector"],
                          default="batched",
                          help="access engine to time (default: batched)")
     p_bench.add_argument("--designs",
@@ -770,9 +807,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "BENCH_<n>.json (default: current "
                               "directory; created on demand)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="run one small point under both engines; "
-                              "fail on result mismatch or a batched "
-                              "slowdown")
+                         help="run one small point under all three "
+                              "engines; fail on a scalar/batched result "
+                              "mismatch, an out-of-band vector result, "
+                              "or an engine-tier slowdown")
     add_config(p_bench)
     add_verbosity(p_bench)
 

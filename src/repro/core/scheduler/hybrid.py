@@ -136,6 +136,70 @@ class HybridScheduler(Scheduler):
         load = self.load_cost_vector(task.spawner_unit)
         return mem + ctx.hybrid_weight * load
 
+    def choose_units_batch(self, tasks) -> "np.ndarray | None":
+        """Place a batch of tasks at once (vector engine's bulk path).
+
+        Scores every task against the *same* exchange snapshot — the
+        per-task scoring between two exchange boundaries does exactly
+        that too, so batching only coarsens when a boundary falls
+        inside a batch (the caller chunks to keep that rare).  The
+        tie-break reproduces :meth:`_pick`: among scores within the
+        tolerance of the minimum, the unit closest to the spawner wins,
+        earlier unit id on equal distance.  Returns None when batching
+        is unavailable (telemetry decision records, fault state, or the
+        scalar engine's reference scoring).
+        """
+        ctx = self.context
+        if (
+            not ctx.fast_scoring
+            or ctx.alive_mask is not None
+            or self.telemetry.enabled
+        ):
+            return None
+        n = len(tasks)
+        scores = np.empty((n, ctx.num_units), dtype=np.float64)
+        # Under fast scoring the load snapshot (and hence B*cost_load)
+        # is the same vector for every task between exchanges, so the
+        # batch gathers only the per-task cost_mem rows and adds the
+        # load term once.  Row j of `scores` ends up elementwise
+        # mem[j] + wload[j] — the exact expression score_vector
+        # evaluates per task.
+        load = self.load_cost_vector(tasks[0].spawner_unit)
+        cached = self._wload_cache
+        if cached is None or cached[0] != ctx.exchange.generation:
+            self._wload_cache = cached = (
+                ctx.exchange.generation, ctx.hybrid_weight * load
+            )
+        wload = cached[1]
+        mem_cost_vector = ctx.mem_cost_vector
+        use_camps = self.use_camps
+        cm = ctx.camp_mapper
+        if use_camps and cm is not None:
+            memo_attr, memo_key = "_cmean", (cm.token, cm.epoch)
+        else:
+            memo_attr, memo_key = "_hmean", ctx.cost_epoch
+        for i, task in enumerate(tasks):
+            hint = task.hint
+            if hint.num_addresses == 0:
+                # No data preference: cost_mem is identically zero.
+                scores[i] = 0.0
+                continue
+            row = getattr(hint, memo_attr, None)
+            if row is not None and row[0] == memo_key:
+                scores[i] = row[1]
+            else:
+                scores[i] = mem_cost_vector(task, use_camps=use_camps)
+        scores += wload
+        best = scores.min(axis=1)
+        near = scores <= (best + self.tie_tolerance_ns)[:, None]
+        spawners = np.fromiter(
+            (t.spawner_unit for t in tasks), dtype=np.int64, count=n
+        )
+        from_spawner = np.where(
+            near, ctx.cost_matrix[spawners], np.inf
+        )
+        return np.argmin(from_spawner, axis=1)
+
     def choose_unit(self, task: Task) -> int:
         ctx = self.context
         if task.hint.num_addresses == 0:

@@ -18,11 +18,15 @@ tests — CI gates must not flake):
   zero-noise steps are still caught).  This is the means-only core of
   the e-divisive method MongoDB's DSI uses for its perf CI.
 
-Records compare only within *compatible groups* (same engine, mesh,
-seed, design/workload sets): a scalar→batched engine switch is an
-intended improvement, not a regression, and cross-machine absolute
-seconds are only trusted as far as the caller's tolerance allows
-(see the ``regression-gate`` CI step for the documented band).
+Records compare only within *compatible groups* (same engine *tier*,
+mesh, seed, design/workload sets): scalar and batched are both exact
+tiers and produce identical results, so a scalar→batched switch only
+shows up as a wall-time improvement, while the statistical ``vector``
+tier forms its own group — its makespans are compared through the
+equivalence bands of :mod:`repro.core.vector_engine`, never through
+the near-exact semantic check.  Cross-machine absolute seconds are
+only trusted as far as the caller's tolerance allows (see the
+``regression-gate`` CI step for the documented band).
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.config import engine_tier
+from repro.core.vector_engine import MAKESPAN_BAND
 from repro.observatory.history import HistoryLedger, default_ledger
 
 #: default relative tolerance for wall/throughput metrics (10%).
@@ -213,9 +219,16 @@ def changepoints(
 # record-vs-record tolerance comparison
 # ----------------------------------------------------------------------
 def _group_signature(payload: Dict[str, Any]) -> Tuple:
-    """Records compare only within identical signatures."""
+    """Records compare only within identical signatures.
+
+    The engine enters by *tier*, not by name: scalar and batched are
+    bit-identical (one "exact" trajectory), while the statistical
+    vector tier is its own group — comparing its wall times against an
+    exact record would misattribute the engine switch as a perf move.
+    """
     return (
-        payload.get("engine"), payload.get("mesh"), payload.get("seed"),
+        engine_tier(payload.get("engine")), payload.get("mesh"),
+        payload.get("seed"),
         tuple(payload.get("designs", [])),
         tuple(payload.get("workloads", [])),
     )
@@ -241,6 +254,13 @@ def compare_bench(
     :data:`SEMANTIC_RTOL` when seed and mesh agree; wall/throughput
     fields are held to ``tolerance`` in the bad direction only (a
     faster candidate is an improvement, never flagged).
+
+    When either record comes from the statistical ``vector`` tier, the
+    ``makespan_cycles`` check relaxes from near-exact to the vector
+    tier's equivalence band (:data:`repro.core.vector_engine.
+    MAKESPAN_BAND`, two-sided): the vector engine is *specified* to
+    drift within that band.  Task and access counts stay near-exact —
+    they are engine-invariant on every tier.
     """
     report = RegressionReport()
     base_pts = _points_by_cell(baseline)
@@ -262,6 +282,16 @@ def compare_bench(
             "seed/mesh differ between the records — semantic equality "
             "of makespan/tasks/accesses was not checked"
         )
+    vector_involved = "vector" in (
+        engine_tier(baseline.get("engine")),
+        engine_tier(candidate.get("engine")),
+    )
+    if comparable_semantics and vector_involved:
+        report.notes.append(
+            "a vector-tier record is involved — makespan_cycles was "
+            f"held to the ±{MAKESPAN_BAND:.0%} statistical band "
+            "instead of near-exact equality"
+        )
 
     for cell in shared:
         design, workload = cell
@@ -272,6 +302,26 @@ def compare_bench(
                     continue
                 report.checks += 1
                 rel = _rel(float(b[metric]), float(c[metric]))
+                if metric == "makespan_cycles" and vector_involved:
+                    bad = (not math.isfinite(rel)
+                           or abs(rel) > MAKESPAN_BAND)
+                    if bad or abs(rel) > SEMANTIC_RTOL:
+                        report.findings.append(Finding(
+                            metric=f"{design}/{workload}.{metric}",
+                            kind="band",
+                            baseline=float(b[metric]),
+                            candidate=float(c[metric]),
+                            rel_change=rel, regression=bad,
+                            message=(
+                                f"{design}/{workload} {metric}: "
+                                f"{b[metric]:,} -> {c[metric]:,} "
+                                f"({rel:+.1%} vs the vector tier's "
+                                f"±{MAKESPAN_BAND:.0%} band"
+                                + (", out of band)" if bad
+                                   else ", in band)")
+                            ),
+                        ))
+                    continue
                 bad = (not math.isfinite(rel)
                        or abs(rel) > SEMANTIC_RTOL)
                 if bad or abs(rel) > 0:
@@ -372,7 +422,7 @@ def scan_bench_trajectory(
         groups.setdefault(_group_signature(payload), []).append(
             (name, payload))
     for signature, group in groups.items():
-        label = f"engine={signature[0]} mesh={signature[1]}"
+        label = f"tier={signature[0]} mesh={signature[1]}"
         if len(group) < 2:
             report.notes.append(
                 f"{label}: {len(group)} record(s) — trajectory too "
@@ -430,9 +480,13 @@ def scan_history(
 ) -> RegressionReport:
     """Wall-time regression scan over the run-history ledger.
 
-    Runs group by (design, workload, config fingerprint, engine) — the
-    same simulation repeated over time; each group's wall-time series
-    gets the change-point scan plus a newest-vs-prior-mean band check.
+    Runs group by (design, workload, config fingerprint, engine
+    *tier*) — the same simulation repeated over time.  Scalar and
+    batched share the exact tier (bit-identical work, comparable wall
+    times); the statistical vector tier is its own group, so a
+    batched→vector switch never reads as a wall-time change point.
+    Each group's wall-time series gets the change-point scan plus a
+    newest-vs-prior-mean band check.
     """
     ledger = ledger if ledger is not None else default_ledger()
     report = RegressionReport()
@@ -441,7 +495,7 @@ def scan_history(
         if rec.source not in ("simulate", "campaign") or rec.wall_s <= 0:
             continue
         sig = (rec.design, rec.workload, rec.config_fingerprint,
-               rec.engine)
+               engine_tier(rec.engine))
         groups.setdefault(sig, []).append(rec)
     for sig, recs in groups.items():
         if len(recs) < min_runs:

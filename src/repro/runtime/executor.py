@@ -30,6 +30,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.arch.ndp_unit import NdpUnit
 from repro.config import SystemConfig
 from repro.core.memory_system import MemorySystem
@@ -145,7 +147,15 @@ class BulkSyncExecutor:
         # spawners rather than walking them one after another (a
         # sequential walk would make already-booked units look loaded
         # and push their remaining tasks away).
-        clock = self._schedule_tasks(
+        # Under the vector engine, placement also goes through the
+        # batch path (falls back to per-task placement whenever the
+        # policy cannot batch).
+        schedule = (
+            self._schedule_tasks_bulk
+            if self.memory_system.vector_engine is not None
+            else self._schedule_tasks
+        )
+        clock = schedule(
             _interleave_by_spawner(root_tasks), pending, 0.0,
             advance_clock=True,
         )
@@ -202,7 +212,7 @@ class BulkSyncExecutor:
                 # aggregated during the phase).
                 new_tasks = on_barrier(ts, state)
                 if new_tasks:
-                    clock = self._schedule_tasks(
+                    clock = schedule(
                         _interleave_by_spawner(new_tasks), pending, clock,
                         advance_clock=True,
                     )
@@ -243,6 +253,68 @@ class BulkSyncExecutor:
             if advance_clock:
                 clock += workload / self._throughput
                 self.exchange.advance(clock)
+        return clock
+
+    def _schedule_tasks_bulk(
+        self,
+        tasks: Sequence[Task],
+        pending: Dict[int, List[Task]],
+        clock: float,
+        advance_clock: bool = False,
+    ) -> float:
+        """Batch variant of :meth:`_schedule_tasks` (vector engine).
+
+        Asks the policy to place a whole chunk of tasks at once via
+        ``choose_units_batch``; policies without a batch path (or that
+        temporarily cannot batch — telemetry, fault state) fall back to
+        the per-task loop.  Exchange boundaries are checked once per
+        chunk rather than once per task, so snapshot refreshes land at
+        a slightly coarser cadence — a statistical-tier difference.
+        """
+        ctx = self.scheduler.context
+        if tasks and ctx.camp_mapper is not None and ctx.fast_scoring:
+            # Warm the camp mapper's per-line tables for the whole
+            # batch in one vectorized fill.  prime_lines writes the
+            # same memo dicts the per-task path fills lazily, so this
+            # is pure cache warming — every downstream decision and
+            # float is unchanged on every tier.
+            lines = set()
+            for task in tasks:
+                lines.update(ctx.hint_lines_list(task))
+            ctx.camp_mapper.prime_lines(lines, ctx.cost_matrix)
+        chooser = getattr(self.scheduler, "choose_units_batch", None)
+        if chooser is None or not tasks:
+            return self._schedule_tasks(tasks, pending, clock,
+                                        advance_clock)
+        task_workload = ctx.task_workload
+        on_enqueue = self.exchange.on_enqueue
+        throughput = self._throughput
+        # Root batches advance the clock as they book; chunking keeps
+        # the stale-snapshot feedback loop (later tasks see the load
+        # the earlier ones booked) at near the per-task resolution.
+        step = 32 if advance_clock else len(tasks)
+        i = 0
+        n = len(tasks)
+        while i < n:
+            sub = tasks[i:i + step]
+            picks = chooser(sub)
+            if picks is None:
+                return self._schedule_tasks(tasks[i:], pending, clock,
+                                            advance_clock)
+            exchange = self.exchange
+            advance = exchange.advance
+            interval = exchange.interval_cycles
+            for task, unit in zip(sub, picks.tolist()):
+                task.assigned_unit = unit
+                workload = task_workload(task, unit)
+                task.booked_workload = workload
+                on_enqueue(unit, workload)
+                pending.setdefault(task.timestamp, []).append(task)
+                if advance_clock:
+                    clock += workload / throughput
+                    if clock - exchange._last_exchange >= interval:
+                        advance(clock)
+            i += step
         return clock
 
     def _reassign_stranded(self, pending: Dict[int, List[Task]],
@@ -360,6 +432,18 @@ class BulkSyncExecutor:
         ctx = self.scheduler.context
         memsys = self.memory_system
 
+        ve = memsys.vector_engine
+        if (
+            ve is not None
+            and self.recorder is None
+            and self.faults is None
+            and not self.telemetry.enabled
+            and ve.available()
+        ):
+            return self._execute_phase_vector(
+                by_unit, ts, state, clock, pending, trace
+            )
+
         for unit in self.units:
             unit.reset_clocks(0.0)
 
@@ -449,4 +533,130 @@ class BulkSyncExecutor:
             if idx + 1 < len(tasks):
                 heappush(heap, (unit.earliest_free(), uid, idx + 1))
 
+        return max((u.busy_until() for u in self.units), default=0.0)
+
+    # ------------------------------------------------------------------
+    # vectorized execution (engine "vector")
+    # ------------------------------------------------------------------
+    def _execute_phase_vector(
+        self,
+        by_unit: List[List[Task]],
+        ts: int,
+        state: Any,
+        clock: float,
+        pending: Dict[int, List[Task]],
+        trace: ExecutionTrace,
+    ) -> float:
+        """Resolve a whole phase's memory accesses in one columnar pass.
+
+        The phase's accesses are flattened into parallel arrays (units
+        interleaved round-robin by queue position — the same global
+        ordering the scalar heap approximates) and handed to the
+        :class:`~repro.core.vector_engine.VectorPhaseEngine`; task
+        bodies then run in chunks with precomputed durations.  Per-unit
+        core schedules (and hence the phase makespan) use the same
+        ``run_task`` accounting as the exact engines.
+        """
+        ve = self.memory_system.vector_engine
+        ctx = self.scheduler.context
+        for unit in self.units:
+            unit.reset_clocks(0.0)
+
+        tasks: List[Task] = []
+        pos = 0
+        busy = True
+        while busy:
+            busy = False
+            for queue in by_unit:
+                if pos < len(queue):
+                    tasks.append(queue[pos])
+                    busy = True
+            pos += 1
+        n = len(tasks)
+        if n == 0:
+            return 0.0
+
+        hint_lines = ctx.hint_lines
+        per_task_lines = [hint_lines(t) for t in tasks]
+        counts = np.fromiter(
+            (a.size for a in per_task_lines), dtype=np.int64, count=n
+        )
+        units_of = np.fromiter(
+            (t.assigned_unit for t in tasks), dtype=np.int64, count=n
+        )
+        if int(counts.sum()):
+            lines = np.concatenate(per_task_lines)
+            task_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
+            requesters = np.repeat(units_of, counts)
+            stalls_ns = ve.resolve_phase(
+                requesters, lines, task_ids, n, clock / self._freq
+            )
+        else:
+            stalls_ns = np.zeros(n, dtype=np.float64)
+
+        # Output writes: one line per hinted task, straight to its home.
+        w_sel = np.nonzero(counts > 0)[0]
+        if w_sel.size:
+            line_of = ctx.memory_map.line_of
+            w_lines = np.fromiter(
+                (line_of(int(tasks[i].hint.addresses[0])) for i in w_sel),
+                dtype=np.int64, count=w_sel.size,
+            )
+            ve.book_writes(units_of[w_sel], w_lines)
+
+        compute = np.fromiter(
+            (t.compute_cycles for t in tasks), dtype=np.float64, count=n
+        )
+        durations = compute + stalls_ns * self._freq * (1.0 - self._hide)
+        stolen = np.fromiter(
+            (t.stolen for t in tasks), dtype=bool, count=n
+        )
+        if stolen.any():
+            durations[stolen] += self._steal_overhead
+
+        # Body loop: chunked so spawned children are scheduled (and the
+        # exchange clock advanced) a handful of times per exchange
+        # interval rather than per task.
+        units = self.units
+        exchange = self.exchange
+        on_dequeue = exchange.on_dequeue
+        advance = exchange.advance
+        interval = exchange.interval_cycles
+        throughput = self._throughput
+        dur = durations.tolist()
+        adv = (durations / throughput).tolist()
+        mean_dur = float(durations.mean())
+        chunk = 64
+        if mean_dur > 0.0:
+            chunk = int(
+                self.exchange.interval_cycles * throughput / mean_dur
+            )
+        chunk = max(8, min(chunk, 256))
+        tctx = TaskContext(0, ts, state)
+        global_now = clock
+        i = 0
+        while i < n:
+            j = min(i + chunk, n)
+            for k in range(i, j):
+                task = tasks[k]
+                uid = task.assigned_unit
+                tctx.current_unit = uid
+                task.func(tctx, *task.args)
+                units[uid].run_task(dur[k])
+                on_dequeue(uid, task.booked_workload)
+                # Advance the exchange clock at the per-task cadence of
+                # the exact engines: the hybrid policy's load feedback
+                # is sensitive to when snapshots refresh.  The inline
+                # boundary test is the one advance() applies before
+                # doing any work, hoisted to skip the no-op calls.
+                global_now += adv[k]
+                if global_now - exchange._last_exchange >= interval:
+                    advance(global_now)
+            spawned = tctx.drain_spawned()
+            if spawned:
+                self._schedule_tasks_bulk(spawned, pending, global_now)
+            i = j
+
+        trace.tasks_executed += n
+        trace.instructions += float(compute.sum())
         return max((u.busy_until() for u in self.units), default=0.0)

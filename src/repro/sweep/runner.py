@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import RunResult
-from repro.config import SystemConfig, experiment_config
+from repro.config import SystemConfig, engine_tier, experiment_config
 from repro.observatory.progress import EventFn, ProgressEvent
 from repro.sweep.cache import ResultCache, resolve_cache
 from repro.sweep.keys import UncacheableError, run_key
@@ -108,6 +108,12 @@ def cached_simulate(
     the result entry is written as usual and the telemetry summary goes
     to a ``<key>.telemetry.json`` sidecar, leaving run keys and the
     result schema untouched.
+
+    The access engine is non-semantic, so the run key is the same for
+    all three engines and any cached entry satisfies the point — but
+    only *exact*-tier engines (scalar, batched: bit-identical results)
+    may write entries.  The statistical vector tier reads the cache and
+    never feeds it (see docs/engines.md).
     """
     if config is None:
         config = experiment_config()
@@ -131,7 +137,7 @@ def cached_simulate(
     else:
         # positional-only call keeps older _live_simulate stubs working
         result = _live_simulate(design, workload, config)
-    if key is not None:
+    if key is not None and engine_tier(config.memory.access_engine) == "exact":
         store.store(key, result, meta={
             "design": design,
             "workload": getattr(workload, "name", str(workload)),
@@ -435,10 +441,15 @@ class SweepRunner:
             for idx in failed:
                 self._retry(outcomes[idx], done, total)
 
-        # 3. feed the cache
+        # 3. feed the cache (exact-tier runs only: vector results are
+        # statistical and must never serve a later exact-tier hit)
         if self.cache is not None:
             for outcome in outcomes:
-                if outcome.ok and outcome.key and outcome.source != "cache":
+                if (outcome.ok and outcome.key
+                        and outcome.source != "cache"
+                        and engine_tier(
+                            outcome.point.resolved_config()
+                            .memory.access_engine) == "exact"):
                     self.cache.store(
                         outcome.key, outcome.result,
                         meta={

@@ -1,0 +1,243 @@
+"""Statistical equivalence of the vector engine (the third tier).
+
+Unlike the batched engine (pinned bit-identical to scalar in
+``test_access_engine.py``), the vector engine replaces sequential
+mechanisms with closed-form equivalents and is held to the
+*equivalence bands* documented in ``docs/engines.md``: per-design
+makespan and energy within fixed fractional bands of the batched
+engine on the same seeded point, and the makespan geomean across all
+six designs within a tighter band.  These tests also pin the tier
+plumbing: ``access_engine`` stays a non-semantic config field (one run
+key for all three engines), the statistical tier never feeds the sweep
+cache, and the regression detector compares vector records through
+bands instead of near-exact equality.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.bench import engine_config
+from repro.config import engine_tier, experiment_config
+from repro.core.system import build_system
+from repro.core.vector_engine import (
+    ENERGY_BAND,
+    MAKESPAN_BAND,
+    MAKESPAN_GEOMEAN_BAND,
+    VectorPhaseEngine,
+)
+
+WORKLOAD_NAMES = ("pr", "knn")
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    """Same 2x2-stack machine as the exact-parity suite."""
+    return experiment_config().scaled(2, 2)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "pr": repro.make_workload("pr", num_vertices=1024, iterations=2),
+        "knn": repro.make_workload("knn", num_points=512),
+    }
+
+
+@pytest.fixture(scope="module")
+def results(base_config, workloads):
+    """(workload, design, engine) -> RunResult for the band matrix."""
+    out = {}
+    for wname in WORKLOAD_NAMES:
+        for design in repro.ALL_DESIGNS:
+            for engine in ("batched", "vector"):
+                out[wname, design, engine] = repro.simulate(
+                    design, workloads[wname],
+                    config=engine_config(engine, base_config),
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# equivalence bands
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("design", repro.ALL_DESIGNS)
+@pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+def test_makespan_within_band(design, workload_name, results):
+    ratio = (results[workload_name, design, "vector"].makespan_cycles
+             / results[workload_name, design, "batched"].makespan_cycles)
+    assert abs(ratio - 1.0) <= MAKESPAN_BAND, (
+        f"{design}/{workload_name} vector makespan ratio {ratio:.4f} "
+        f"outside the ±{MAKESPAN_BAND:.0%} band"
+    )
+
+
+@pytest.mark.parametrize("design", repro.ALL_DESIGNS)
+@pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+def test_energy_within_band(design, workload_name, results):
+    ratio = (results[workload_name, design, "vector"].energy.total_pj
+             / results[workload_name, design, "batched"].energy.total_pj)
+    assert abs(ratio - 1.0) <= ENERGY_BAND, (
+        f"{design}/{workload_name} vector energy ratio {ratio:.4f} "
+        f"outside the ±{ENERGY_BAND:.0%} band"
+    )
+
+
+@pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+def test_makespan_geomean_within_band(workload_name, results):
+    logs = [
+        math.log(results[workload_name, d, "vector"].makespan_cycles
+                 / results[workload_name, d, "batched"].makespan_cycles)
+        for d in repro.ALL_DESIGNS
+    ]
+    geomean = math.exp(sum(logs) / len(logs))
+    assert abs(geomean - 1.0) <= MAKESPAN_GEOMEAN_BAND, (
+        f"{workload_name} vector makespan geomean {geomean:.4f} outside "
+        f"the ±{MAKESPAN_GEOMEAN_BAND:.0%} band"
+    )
+
+
+@pytest.mark.parametrize("design", repro.ALL_DESIGNS)
+def test_task_and_access_counts_exact(design, results):
+    """Work counts are engine-invariant on *every* tier: the vector
+    engine approximates latencies, never the work itself."""
+    rb = results["pr", design, "batched"]
+    rv = results["pr", design, "vector"]
+    assert rv.tasks_executed == rb.tasks_executed
+    assert int(rv.sram.l1_accesses) == int(rb.sram.l1_accesses)
+    assert int(rv.dram.writes) == int(rb.dram.writes)
+
+
+# ----------------------------------------------------------------------
+# engine plumbing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("design", repro.ALL_DESIGNS)
+def test_vector_engine_attached_on_all_designs(design, base_config):
+    """Every Table 2 design runs the columnar kernel (cacheless and
+    Traveller styles are both supported)."""
+    system = build_system(design, engine_config("vector", base_config))
+    ve = system.memory_system.vector_engine
+    assert isinstance(ve, VectorPhaseEngine)
+    assert VectorPhaseEngine.supported(system.memory_system)
+    assert ve.available()
+
+
+def test_engine_tier_mapping():
+    assert engine_tier("scalar") == "exact"
+    assert engine_tier("batched") == "exact"
+    assert engine_tier("vector") == "vector"
+    # unknown/legacy records without an engine field read as exact
+    assert engine_tier(None) == "exact"
+
+
+def test_run_keys_engine_invariant(base_config, workloads):
+    """One run key for all three engines: ``access_engine`` is
+    non-semantic, so a cached exact result satisfies any engine."""
+    from repro.sweep.keys import run_key
+
+    keys = {
+        engine: run_key("O", workloads["pr"],
+                        engine_config(engine, base_config))
+        for engine in ("scalar", "batched", "vector")
+    }
+    assert keys["scalar"] == keys["batched"] == keys["vector"]
+
+
+def test_vector_never_feeds_the_cache(tmp_path, monkeypatch,
+                                      base_config, workloads):
+    """The statistical tier reads the sweep cache but never writes it:
+    a vector run must not plant a result that a later exact-tier run
+    would replay as truth."""
+    from repro.sweep.cache import ResultCache
+    from repro.sweep.runner import cached_simulate
+
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    workload = workloads["pr"]
+    cache = ResultCache(root=tmp_path)
+
+    vcfg = engine_config("vector", base_config)
+    cached_simulate("B", workload, config=vcfg, cache=cache)
+    assert cache.stats.stores == 0
+
+    bcfg = engine_config("batched", base_config)
+    exact = cached_simulate("B", workload, config=bcfg, cache=cache)
+    assert cache.stats.stores == 1
+
+    # ... and the vector tier may *load* the exact entry it shares a
+    # key with: the cached result replays bit-identically.
+    replay = cached_simulate("B", workload, config=vcfg, cache=cache)
+    assert replay.makespan_cycles == exact.makespan_cycles
+    assert cache.stats.stores == 1
+
+
+# ----------------------------------------------------------------------
+# regression-detector tiers
+# ----------------------------------------------------------------------
+def _bench_payload(engine, wall, makespan, tasks=2048):
+    point = {
+        "design": "O", "workload": "pr", "wall_s": wall, "cpu_s": wall,
+        "tasks": tasks, "accesses": 10000,
+        "tasks_per_s": tasks / wall, "accesses_per_s": 10000 / wall,
+        "makespan_cycles": makespan,
+    }
+    return {
+        "schema": "repro-bench-v1", "engine": engine,
+        "designs": ["O"], "workloads": ["pr"], "seed": 42, "mesh": "4x4",
+        "points": [point],
+        "totals": {"wall_s": wall, "cpu_s": wall, "tasks": tasks,
+                   "accesses": 10000, "tasks_per_s": tasks / wall,
+                   "accesses_per_s": 10000 / wall},
+    }
+
+
+def test_group_signatures_by_tier():
+    from repro.observatory.regression import _group_signature
+
+    scalar = _group_signature(_bench_payload("scalar", 3.0, 1e5))
+    batched = _group_signature(_bench_payload("batched", 1.0, 1e5))
+    vector = _group_signature(_bench_payload("vector", 0.5, 1e5))
+    assert scalar == batched
+    assert vector != batched
+
+
+def test_compare_bench_vector_uses_bands():
+    """batched→vector comparisons go through the makespan band, not
+    the near-exact semantic check; work counts stay near-exact."""
+    from repro.observatory.regression import compare_bench
+
+    base = _bench_payload("batched", 1.0, 100000.0)
+    in_band = compare_bench(
+        base, _bench_payload("vector", 0.5, 95000.0), tolerance=3.0
+    )
+    assert in_band.ok
+
+    out_of_band = compare_bench(
+        base,
+        _bench_payload(
+            "vector", 0.5, 100000.0 * (1.0 - 2 * MAKESPAN_BAND)
+        ),
+        tolerance=3.0,
+    )
+    assert any(f.kind == "band" for f in out_of_band.regressions)
+
+    # a moved task count is a behaviour change on any tier
+    bad_tasks = compare_bench(
+        base, _bench_payload("vector", 0.5, 95000.0, tasks=2049),
+        tolerance=3.0,
+    )
+    assert any(f.kind == "semantic" for f in bad_tasks.regressions)
+
+
+def test_exact_pair_still_near_exact():
+    """Tier relaxation must not leak into exact-tier comparisons."""
+    from repro.observatory.regression import compare_bench
+
+    report = compare_bench(
+        _bench_payload("batched", 1.0, 100000.0),
+        _bench_payload("batched", 1.0, 100001.0),
+        tolerance=3.0,
+    )
+    assert any(f.kind == "semantic" for f in report.regressions)
