@@ -19,6 +19,16 @@
     python -m repro regress                  # perf-regression scan over
                                              # the BENCH_*.json trajectory
     python -m repro run -d O -w pr --profile # cProfile a live run
+    python -m repro serve                    # sweep-as-a-service: HTTP
+                                             # server over the result cache
+    python -m repro compact                  # compact the history ledger,
+                                             # prune orphaned cache temps
+
+Grid commands (``matrix`` / ``sweep``), ``diff`` and ``regress
+--history`` accept ``--server URL`` to run through a shared
+``repro serve`` instance instead of the local machine — submissions
+dedupe by run key across all of the server's clients (see
+docs/service.md).
 
 Every simulation routes through the content-addressed result cache in
 ``.repro_cache/`` (``--no-cache`` bypasses it) and drops a one-line
@@ -79,6 +89,73 @@ def _config_from_args(args) -> SystemConfig:
 def _cache_from_args(args):
     """The ``cache=`` argument for the sweep engine (False = bypass)."""
     return False if getattr(args, "no_cache", False) else "default"
+
+
+def _spec_from_args(args, design: str, workload: str):
+    """An :class:`ExperimentSpec` mirroring :func:`_config_from_args`.
+
+    Field-for-field the same transformations, so the spec's run key —
+    computed server-side — matches what the local path would compute.
+    """
+    from repro.service.spec import ExperimentSpec
+
+    spec: Dict[str, object] = {"design": design, "workload": workload}
+    if args.mesh:
+        spec["mesh"] = args.mesh
+    scheduler = {}
+    if args.alpha is not None:
+        scheduler["hybrid_alpha"] = args.alpha
+    if args.interval is not None:
+        scheduler["exchange_interval_cycles"] = args.interval
+    cache_over = {}
+    if args.camps is not None:
+        cache_over["num_camps"] = args.camps
+    if args.bypass is not None:
+        cache_over["bypass_probability"] = args.bypass
+    config = {}
+    if scheduler:
+        config["scheduler"] = scheduler
+    if cache_over:
+        config["cache"] = cache_over
+    if config:
+        spec["config"] = config
+    engine = getattr(args, "engine", None)
+    if engine:
+        spec["engine"] = engine
+    return ExperimentSpec.from_dict(spec)
+
+
+def _run_grid_via_server(args, designs, workloads, log):
+    """Run a design x workload grid through ``--server`` (thin client).
+
+    Returns a :class:`~repro.sweep.runner.SweepReport` shaped exactly
+    like the local engine's, so the table/export code downstream is
+    shared between the two modes.
+    """
+    import time
+
+    from repro.service.client import ServiceClient, run_specs
+    from repro.sweep.runner import PointOutcome, SweepPoint, SweepReport
+
+    client = ServiceClient(args.server)
+    specs = [_spec_from_args(args, d, w)
+             for w in workloads for d in designs]
+    log.detail(f"submitting {len(specs)} point(s) to {client.base_url}")
+    t0 = time.time()
+    raw = run_specs(client, specs, events=_events_from_args(args, log))
+    outcomes = []
+    for item in raw:
+        spec = item["spec"]
+        point = SweepPoint(design=spec.design, workload=spec.workload)
+        source = {"cached": "cache", "done": "run"}.get(
+            item["status"], "failed")
+        outcomes.append(PointOutcome(
+            point=point, result=item["result"], source=source,
+            key=item["key"],
+            error=(item["error"] or "remote run failed")
+            if source == "failed" else None,
+        ))
+    return SweepReport(outcomes=outcomes, elapsed_s=time.time() - t0)
 
 
 def _log_from_args(args):
@@ -248,10 +325,14 @@ def cmd_compare(args) -> int:
 def cmd_matrix(args) -> int:
     cfg = _config_from_args(args)
     log = _log_from_args(args)
-    report = run_matrix(
-        config=cfg, cache=_cache_from_args(args), jobs=args.jobs,
-        events=_events_from_args(args, log),
-    )
+    if getattr(args, "server", None):
+        report = _run_grid_via_server(
+            args, list(repro.ALL_DESIGNS), list(repro.ALL_WORKLOADS), log)
+    else:
+        report = run_matrix(
+            config=cfg, cache=_cache_from_args(args), jobs=args.jobs,
+            events=_events_from_args(args, log),
+        )
     if report.failures:
         for o in report.failures:
             log.error(f"FAILED {o.point.label}: "
@@ -317,11 +398,14 @@ def cmd_sweep_matrix(args) -> int:
                else list(repro.ALL_DESIGNS))
     workloads = (args.workloads.split(",") if args.workloads
                  else list(repro.ALL_WORKLOADS))
-    report = run_matrix(
-        designs=designs, workloads=workloads, config=cfg,
-        cache=_cache_from_args(args), jobs=args.jobs,
-        events=_events_from_args(args, log),
-    )
+    if getattr(args, "server", None):
+        report = _run_grid_via_server(args, designs, workloads, log)
+    else:
+        report = run_matrix(
+            designs=designs, workloads=workloads, config=cfg,
+            cache=_cache_from_args(args), jobs=args.jobs,
+            events=_events_from_args(args, log),
+        )
     grid = report.results()
     complete = [w for w in workloads
                 if "B" in grid.get(w, {})
@@ -554,8 +638,17 @@ def cmd_diff(args) -> int:
     """
     from repro.observatory.diffing import diff_refs
 
-    diff = diff_refs(args.a, args.b, cache=_cache_from_args(args),
-                     threshold=args.threshold / 100.0)
+    if getattr(args, "server", None):
+        from repro.service.client import (RemoteCache, RemoteLedger,
+                                          ServiceClient)
+
+        client = ServiceClient(args.server)
+        diff = diff_refs(args.a, args.b, ledger=RemoteLedger(client),
+                         cache=RemoteCache(client),
+                         threshold=args.threshold / 100.0)
+    else:
+        diff = diff_refs(args.a, args.b, cache=_cache_from_args(args),
+                         threshold=args.threshold / 100.0)
     if args.json_out:
         print(_json.dumps(diff.to_dict(), indent=2, sort_keys=True))
     else:
@@ -611,15 +704,23 @@ def cmd_regress(args) -> int:
         ))
     else:
         records = reg.load_bench_dir(Path(args.dir))
-        if not records and not args.history:
+        if not records and not (args.history or
+                                getattr(args, "server", None)):
             raise ValueError(
                 f"no BENCH_*.json records under {args.dir!r} — run "
                 f"`python -m repro bench` first (or pass --history to "
                 f"scan the run ledger)"
             )
         reports.append(reg.scan_bench_trajectory(records, tolerance=tol))
-    if args.history:
-        reports.append(reg.scan_history(tolerance=tol))
+    if args.history or getattr(args, "server", None):
+        # --server reads the *server's* ledger (its clients' runs);
+        # it implies the history scan.
+        ledger = None
+        if getattr(args, "server", None):
+            from repro.service.client import RemoteLedger, ServiceClient
+
+            ledger = RemoteLedger(ServiceClient(args.server))
+        reports.append(reg.scan_history(ledger=ledger, tolerance=tol))
     report = reg.merge_reports(*reports)
     if args.json_out:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -628,6 +729,54 @@ def cmd_regress(args) -> int:
     if args.fail_on_regression and not report.ok:
         return 1
     return 0
+
+
+def cmd_serve(args) -> int:
+    """``python -m repro serve``: the sweep-as-a-service server.
+
+    Clients (``--server URL`` on grid/diff/regress commands, or plain
+    HTTP) share this process's result cache and history ledger;
+    identical submissions dedupe by run key.  See docs/service.md.
+    """
+    import asyncio
+    import os
+
+    from repro.service.server import ExperimentServer
+
+    if args.cache_dir:
+        # env (not a constructor arg) so pool workers inherit it and
+        # self-record history into the same root.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    server = ExperimentServer(host=args.host, port=args.port,
+                              workers=args.workers)
+
+    class _Announce:
+        def set(self) -> None:
+            mode = ("in-process threads" if args.workers == 0
+                    else f"{server.pool_width()} worker process(es)")
+            print(f"experiment server on http://{server.host}:"
+                  f"{server.port} ({mode}, cache root "
+                  f"{server.cache.root}) — Ctrl-C to stop", flush=True)
+
+    try:
+        asyncio.run(server.serve(ready=_Announce()))
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """``python -m repro compact``: bound the history ledger and sweep
+    orphaned cache temp files (storage maintenance; see
+    docs/service.md)."""
+    from repro.observatory.history import default_ledger
+    from repro.sweep.cache import default_cache
+
+    stats = default_ledger().compact(max_bytes=args.max_bytes)
+    print(f"history: {stats.summary()}")
+    pruned = default_cache().prune_tmp()
+    print(f"cache: {pruned} orphaned temp file(s) pruned")
+    return 1 if stats.failed else 0
 
 
 def cmd_sweep(args) -> int:
@@ -696,6 +845,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append machine-readable per-point progress "
                             "events to PATH (one JSON object per line)")
 
+    def add_server(p):
+        p.add_argument("--server", metavar="URL", default=None,
+                       help="run through a shared `repro serve` "
+                            "instance instead of this machine "
+                            "(submissions dedupe by run key)")
+
     def add_common(p, workload=True, design=False):
         add_config(p)
         p.add_argument("--csv", help="export results to a CSV file")
@@ -756,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix = sub.add_parser("matrix", help="all designs x all workloads")
     add_common(p_matrix, workload=False)
     add_progress(p_matrix)
+    add_server(p_matrix)
 
     p_faults = sub.add_parser(
         "faults",
@@ -830,6 +986,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable matrix output path")
     add_common(p_sweep, design=True)
     add_progress(p_sweep)
+    add_server(p_sweep)
 
     p_diff = sub.add_parser(
         "diff",
@@ -849,6 +1006,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--no-cache", action="store_true",
                         help="resolve references without the result cache")
     add_verbosity(p_diff)
+    add_server(p_diff)
 
     p_regress = sub.add_parser(
         "regress",
@@ -878,6 +1036,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_regress.add_argument("--fail-on-regression", action="store_true",
                            help="exit 1 when any regression is flagged")
     add_verbosity(p_regress)
+    add_server(p_regress)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="sweep-as-a-service: HTTP server over the shared result "
+             "cache (spec dedup by run key, process-pool fan-out, "
+             "NDJSON progress streams)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="bind port; 0 picks an ephemeral one "
+                              "(default: 8642)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="simulation worker processes (default: "
+                              "all cores; 0 = in-process threads, for "
+                              "tests)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="result-cache root to serve "
+                              "(default: .repro_cache, or "
+                              "REPRO_CACHE_DIR)")
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="compact the history ledger (merge rotated generation, "
+             "drop corrupt lines) and prune orphaned cache temp files",
+    )
+    p_compact.add_argument("--max-bytes", type=int, default=None,
+                           help="byte budget for the compacted ledger "
+                                "(default: the 8 MB rotation bound)")
 
     return parser
 
@@ -894,6 +1082,8 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "diff": cmd_diff,
     "regress": cmd_regress,
+    "serve": cmd_serve,
+    "compact": cmd_compact,
 }
 
 

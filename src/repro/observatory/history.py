@@ -24,6 +24,17 @@ Lines are compact (well under the 4 KiB pipe-atomicity bound), so
 concurrent appends from sweep worker processes interleave whole
 records, never fragments.  Corrupt lines — a torn write, a manual
 edit — are skipped and counted on read, not fatal.
+
+Appends (and the 8 MB rotation they may trigger) serialize across
+processes on an advisory ``<path>.lock`` sidecar
+(:mod:`repro.sweep.locking`): without it, two processes hitting the
+rotation bound simultaneously would both ``os.replace`` the ledger
+onto ``<path>.1`` and the second would clobber the first's rotated
+generation with a near-empty file.  Reads stay lock-free — rotation
+and compaction only ever rename whole files.  :meth:`HistoryLedger.
+compact` (``python -m repro compact``) merges the rotated generation
+back in, drops corrupt lines, and bounds the file to the newest
+records that fit the rotation budget.
 """
 
 from __future__ import annotations
@@ -196,6 +207,32 @@ class RunRecord:
         return rec
 
 
+@dataclass
+class CompactionStats:
+    """What one :meth:`HistoryLedger.compact` pass did."""
+
+    records: int = 0            #: records in the compacted ledger
+    dropped_corrupt: int = 0    #: unparseable lines discarded
+    dropped_old: int = 0        #: valid records beyond the byte budget
+    merged_generations: int = 0  #: rotated files folded back in
+    bytes_before: int = 0
+    bytes_after: int = 0
+    failed: bool = False
+
+    def summary(self) -> str:
+        if self.failed:
+            return "compaction failed (ledger unchanged)"
+        parts = [f"{self.records} records kept",
+                 f"{self.bytes_before} -> {self.bytes_after} bytes"]
+        if self.merged_generations:
+            parts.append(f"{self.merged_generations} generation(s) merged")
+        if self.dropped_corrupt:
+            parts.append(f"{self.dropped_corrupt} corrupt line(s) dropped")
+        if self.dropped_old:
+            parts.append(f"{self.dropped_old} old record(s) aged out")
+        return ", ".join(parts)
+
+
 # ----------------------------------------------------------------------
 # the ledger
 # ----------------------------------------------------------------------
@@ -214,36 +251,54 @@ class HistoryLedger:
     def _active(self) -> bool:
         return history_enabled()
 
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    def rotated_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".1")
+
     def append(self, record: RunRecord) -> bool:
         """Write one ledger line; returns False when skipped/failed.
 
         Best-effort by contract: every failure is swallowed and
-        counted, and a disabled ledger is a silent no-op.
+        counted, and a disabled ledger is a silent no-op.  The
+        rotation check and the write happen under the cross-process
+        writer lock, so two processes arriving at the 8 MB bound
+        together rotate exactly once (the second re-stats the
+        freshly-rotated, now-small file and appends to it).
         """
         if not self._active():
             return False
+        from repro.sweep.locking import FileLock
+
         try:
             line = json.dumps(record.to_dict(), sort_keys=True,
                               separators=(",", ":")) + "\n"
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._rotate_if_needed(len(line))
-            with open(self.path, "a") as fh:
-                fh.write(line)
+            with FileLock(self.lock_path()):
+                self._rotate_if_needed(len(line))
+                with open(self.path, "a") as fh:
+                    fh.write(line)
             return True
         except (OSError, TypeError, ValueError):
             self.io_errors += 1
             return False
 
     def _rotate_if_needed(self, incoming: int) -> None:
+        """Rotate ``path`` to ``path.1`` when the append would overflow.
+
+        Callers must hold the writer lock: the stat-then-replace pair
+        is the race the lock exists to close (see the module
+        docstring and tests/test_locking.py).
+        """
         try:
             size = self.path.stat().st_size
         except OSError:
             return
         if size + incoming <= self.max_bytes:
             return
-        rotated = self.path.with_name(self.path.name + ".1")
         try:
-            os.replace(self.path, rotated)
+            os.replace(self.path, self.rotated_path())
         except OSError:
             self.io_errors += 1
 
@@ -277,6 +332,72 @@ class HistoryLedger:
     def get(self, index: int) -> RunRecord:
         """Record by position (python indexing; negatives from the end)."""
         return self.records()[index]
+
+    # ------------------------------------------------------------------
+    def compact(self, max_bytes: Optional[int] = None) -> "CompactionStats":
+        """Rewrite the ledger: merge the rotated generation, drop
+        corrupt lines, keep the newest records that fit ``max_bytes``
+        (default: the rotation bound).
+
+        Runs atomically under the writer lock (read both generations,
+        write a temp file, ``os.replace``), so concurrent appends
+        either land before the compaction snapshot or after the
+        rewrite — never inside it.  Raises nothing: a failed
+        compaction leaves the ledger exactly as it was.
+        """
+        from repro.sweep.locking import FileLock, atomic_write_bytes
+
+        stats = CompactionStats()
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        with FileLock(self.lock_path()):
+            lines: List[str] = []
+            for source in (self.rotated_path(), self.path):
+                try:
+                    text = source.read_text()
+                except OSError:
+                    continue
+                if source != self.path:
+                    stats.merged_generations += 1
+                stats.bytes_before += len(text.encode("utf-8"))
+                for line in text.splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                        if not isinstance(data, dict) or \
+                                data.get("schema") != SCHEMA:
+                            raise ValueError("not a history record")
+                    except (ValueError, TypeError):
+                        stats.dropped_corrupt += 1
+                        continue
+                    lines.append(line)
+            # newest records win the byte budget
+            kept: List[str] = []
+            size = 0
+            for line in reversed(lines):
+                size += len(line.encode("utf-8")) + 1
+                if size > budget:
+                    break
+                kept.append(line)
+            kept.reverse()
+            stats.dropped_old = len(lines) - len(kept)
+            blob = "".join(line + "\n" for line in kept).encode("utf-8")
+            try:
+                atomic_write_bytes(self.path, blob)
+            except OSError:
+                self.io_errors += 1
+                stats.failed = True
+                return stats
+            try:
+                self.rotated_path().unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                self.io_errors += 1
+            stats.records = len(kept)
+            stats.bytes_after = len(blob)
+        return stats
 
     def find_key(self, key_prefix: str) -> Optional[RunRecord]:
         """Newest record whose run key starts with ``key_prefix``."""

@@ -1,0 +1,322 @@
+"""Thin client for the experiment server (stdlib ``urllib`` only).
+
+Three layers:
+
+* :class:`ServiceClient` — one method per endpoint, JSON in/out, plus
+  an NDJSON event iterator for ``/v1/events``;
+* :class:`RemoteLedger` / :class:`RemoteCache` — duck-typed stand-ins
+  for :class:`~repro.observatory.history.HistoryLedger` and
+  :class:`~repro.sweep.cache.ResultCache` that read through the
+  server, so the *existing* diff engine and regression detector run
+  unchanged against a remote observatory (``repro diff --server``,
+  ``repro regress --server``).  Fetched entries spool into a local
+  temp directory mirroring the cache layout, so path-based logic
+  (telemetry sidecars, staleness warnings) keeps working;
+* :func:`run_specs` — the grid thin-client: submit every spec, let the
+  server dedupe and fan out, and re-emit typed
+  :class:`~repro.observatory.progress.ProgressEvent`\\ s so the local
+  renderers (live status line, ``--progress-jsonl``) work identically
+  in ``--server`` mode.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.service.spec import ExperimentSpec
+
+
+class ServiceError(ValueError):
+    """An error answer (or no answer) from the experiment server.
+
+    A ``ValueError`` so the CLI's top-level handler renders it as a
+    one-line ``error: …`` (exit 2) instead of a traceback.
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One experiment server, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        if "://" not in self.base_url:
+            self.base_url = "http://" + self.base_url
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str,
+              query: Optional[Dict[str, Any]] = None,
+              body: Optional[Dict[str, Any]] = None):
+        url = self.base_url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(
+                {k: v for k, v in query.items() if v is not None})
+        data = json.dumps(body).encode("utf-8") if body is not None \
+            else (b"" if method == "POST" else None)
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))\
+                    .get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServiceError(
+                f"{method} {path}: HTTP {exc.code}"
+                + (f" — {detail}" if detail else ""),
+                status=exc.code) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach experiment server at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}") from None
+
+    def _json(self, method: str, path: str,
+              query: Optional[Dict[str, Any]] = None,
+              body: Optional[Dict[str, Any]] = None) -> Any:
+        with self._open(method, path, query=query, body=body) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def _bytes(self, path: str,
+               query: Optional[Dict[str, Any]] = None) -> bytes:
+        with self._open("GET", path, query=query) as resp:
+            return resp.read()
+
+    # ------------------------------------------------------------------
+    # endpoint methods
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def submit(self, spec: Any, wait: bool = True) -> Dict[str, Any]:
+        """Submit one spec (an :class:`ExperimentSpec` or plain dict).
+
+        ``wait=True`` long-polls until the point is terminal; the
+        answer carries ``key`` and ``status`` (``cached`` / ``done`` /
+        ``failed`` / ``submitted`` / ``attached``).
+        """
+        body = spec.to_dict() if isinstance(spec, ExperimentSpec) \
+            else dict(spec)
+        return self._json("POST", "/v1/submit",
+                          query={"wait": 1 if wait else None}, body=body)
+
+    def result_bytes(self, key: str, telemetry: bool = False) -> bytes:
+        """The stored entry for ``key``, exactly as the server holds it."""
+        return self._bytes(f"/v1/result/{key}",
+                           query={"telemetry": 1 if telemetry else None})
+
+    def result(self, key: str):
+        """The cached :class:`~repro.analysis.metrics.RunResult`."""
+        from repro.sweep.serialize import result_from_dict
+
+        payload = json.loads(self.result_bytes(key).decode("utf-8"))
+        return result_from_dict(payload["result"])
+
+    def events(self, key: str) -> Iterator[Dict[str, Any]]:
+        """Iterate the NDJSON progress stream for one run key."""
+        with self._open("GET", f"/v1/events/{key}") as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def history(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        return self._json("GET", "/v1/history",
+                          query={"limit": limit})["records"]
+
+    def diff(self, ref_a: str, ref_b: str,
+             threshold: Optional[float] = None) -> Dict[str, Any]:
+        return self._json("GET", "/v1/diff", query={
+            "a": ref_a, "b": ref_b, "threshold": threshold})
+
+    def regress(self, tolerance: Optional[float] = None) -> Dict[str, Any]:
+        return self._json("GET", "/v1/regress",
+                          query={"tolerance": tolerance})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._json("POST", "/v1/shutdown")
+
+
+# ----------------------------------------------------------------------
+# remote observatory adapters (duck-typed ledger / cache)
+# ----------------------------------------------------------------------
+class RemoteLedger:
+    """A read-only :class:`HistoryLedger` look-alike over the server.
+
+    Implements exactly the surface the diff engine and the regression
+    detector consume: ``records()``, ``find_key()``, ``path``.
+    """
+
+    def __init__(self, client: ServiceClient):
+        self.client = client
+        self.path = f"{client.base_url}/v1/history"
+
+    def records(self):
+        from repro.observatory.history import RunRecord
+
+        return [RunRecord.from_dict(d) for d in self.client.history()]
+
+    def find_key(self, key_prefix: str):
+        for record in reversed(self.records()):
+            if record.key and record.key.startswith(key_prefix):
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+class RemoteCache:
+    """A read-only :class:`ResultCache` look-alike over the server.
+
+    Entries (and telemetry sidecars) are fetched once per key and
+    spooled under a local temp root in the cache's own on-disk layout,
+    so ``path_for`` / ``telemetry_path_for`` return real files and the
+    diff engine's sidecar handling works untouched.
+    """
+
+    def __init__(self, client: ServiceClient,
+                 spool: Optional[Path] = None):
+        import tempfile
+
+        self.client = client
+        self.root = Path(spool) if spool is not None else Path(
+            tempfile.mkdtemp(prefix="repro-remote-cache-"))
+        self._fetched: Dict[str, bool] = {}
+
+    # layout mirrors ResultCache
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def telemetry_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.telemetry.json"
+
+    def _ensure(self, key: str) -> None:
+        if self._fetched.get(key):
+            return
+        self._fetched[key] = True
+        for telemetry, path in ((False, self.path_for(key)),
+                                (True, self.telemetry_path_for(key))):
+            try:
+                blob = self.client.result_bytes(key, telemetry=telemetry)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    continue
+                raise
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(blob)
+
+    def load(self, key: str):
+        from repro.sweep.serialize import result_from_dict
+
+        self._ensure(key)
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+            return result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def load_telemetry(self, key: str) -> Optional[Dict[str, Any]]:
+        self._ensure(key)
+        try:
+            payload = json.loads(
+                self.telemetry_path_for(key).read_text())
+            return payload if isinstance(payload, dict) else None
+        except (OSError, ValueError):
+            return None
+
+
+# ----------------------------------------------------------------------
+# grid thin-client
+# ----------------------------------------------------------------------
+def run_specs(
+    client: ServiceClient,
+    specs: Sequence[ExperimentSpec],
+    events=None,
+):
+    """Run a grid of specs through the server; the local sweep's
+    counterpart to :meth:`SweepRunner.run`.
+
+    Every spec is submitted without waiting (the server dedupes and
+    fans out over its own pool), then completion is long-polled spec
+    by spec.  Typed progress events are re-emitted locally so the
+    caller's renderer shows the same feed a local sweep would.
+
+    Returns ``(outcomes, keys)`` where outcomes is a list of dicts
+    ``{spec, key, status, result, error}`` in input order.
+    """
+    from repro.observatory.progress import ProgressEvent
+
+    def emit(**kwargs):
+        if events is not None:
+            try:
+                events(ProgressEvent(**kwargs))
+            except Exception:
+                pass  # observability never fails the run
+
+    total = len(specs)
+    pool = 1
+    try:
+        pool = int(client.health().get("pool", 1))
+    except (ServiceError, ValueError, TypeError):
+        pass
+    emit(event="begin", total=total, jobs=pool)
+
+    submitted = []
+    for index, spec in enumerate(specs):
+        answer = client.submit(spec, wait=False)
+        submitted.append((index, spec, answer))
+        if answer.get("status") not in ("cached", "done", "failed"):
+            emit(event="started", label=spec.label, index=index,
+                 total=total)
+
+    outcomes: List[Dict[str, Any]] = [None] * total  # type: ignore
+    done = 0
+    t0 = time.time()
+    for index, spec, answer in submitted:
+        status = answer.get("status")
+        if status not in ("cached", "done", "failed"):
+            final = client.submit(spec, wait=True)
+            status = final.get("status")
+            answer = dict(answer, **final)
+        done += 1
+        key = answer.get("key")
+        outcome = {"spec": spec, "key": key, "status": status,
+                   "result": None, "error": answer.get("error", "")}
+        if status in ("cached", "done"):
+            try:
+                outcome["result"] = client.result(key)
+            except (ServiceError, ValueError, KeyError) as exc:
+                outcome["status"] = "failed"
+                outcome["error"] = f"result fetch failed: {exc}"
+        if outcome["status"] == "cached":
+            emit(event="cached", label=spec.label, index=index,
+                 done=done, total=total, source="cache")
+        elif outcome["status"] == "done":
+            emit(event="done", label=spec.label, index=index,
+                 done=done, total=total, source="run",
+                 elapsed_s=float(answer.get("elapsed_s") or 0.0))
+        else:
+            emit(event="failed", label=spec.label, done=done,
+                 total=total, source="failed",
+                 error=str(outcome["error"]))
+        outcomes[index] = outcome
+    emit(event="end", done=done, total=total,
+         elapsed_s=time.time() - t0)
+    return outcomes

@@ -1,0 +1,164 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The experiment server (:mod:`repro.service.server`) speaks plain
+HTTP so any stock client — ``curl``, ``urllib``, a browser — can talk
+to it, but it must not grow a web-framework dependency; this module is
+the whole protocol: parse one request off a :class:`asyncio.
+StreamReader`, write one response (or a close-delimited NDJSON
+stream) to the :class:`asyncio.StreamWriter`.
+
+Deliberate simplifications, all fine for a LAN experiment service:
+
+* one request per connection (every response carries
+  ``Connection: close``) — no keep-alive or pipelining bookkeeping;
+* event streams are *close-delimited* (no ``Content-Length``, no
+  chunked framing): the client reads NDJSON lines until EOF, which
+  every HTTP/1.x client already understands;
+* request bodies are bounded (:data:`MAX_BODY_BYTES`) — an experiment
+  spec is a few hundred bytes, not a file upload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+import asyncio
+
+#: bound on one request's header block and body.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed or over-limit request (answered with 400)."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str                       #: decoded path, query stripped
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (raises :class:`ProtocolError`)."""
+        if not self.body:
+            raise ProtocolError("request body is empty, expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` on a cleanly closed connection.
+
+    Raises :class:`ProtocolError` on malformed input — the caller
+    answers 400 and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed without sending a request
+        raise ProtocolError("truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise ProtocolError(f"bad Content-Length {length!r}")
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise ProtocolError(f"Content-Length {n} out of bounds")
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("request body shorter than Content-Length")
+    return Request(method=method, path=path, query=query,
+                   headers=headers, body=body)
+
+
+def _head(status: int, content_type: str,
+          length: Optional[int]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    payload: Any,
+    status: int = 200,
+    raw: Optional[bytes] = None,
+) -> None:
+    """Write one JSON response (``raw`` bytes win over ``payload``).
+
+    ``raw`` exists for byte-identical serving: a cached result entry
+    is sent exactly as it sits on disk, so every client of one run key
+    receives the same bytes.
+    """
+    body = raw if raw is not None \
+        else json.dumps(payload, sort_keys=True).encode("utf-8")
+    writer.write(_head(status, "application/json", len(body)))
+    writer.write(body)
+    await writer.drain()
+
+
+async def send_error(writer: asyncio.StreamWriter, status: int,
+                     message: str) -> None:
+    await send_json(writer, {"error": message, "status": status},
+                    status=status)
+
+
+async def start_ndjson_stream(writer: asyncio.StreamWriter) -> None:
+    """Open a close-delimited NDJSON response (lines follow via
+    :func:`send_ndjson_line`; EOF ends the stream)."""
+    writer.write(_head(200, "application/x-ndjson", None))
+    await writer.drain()
+
+
+async def send_ndjson_line(writer: asyncio.StreamWriter,
+                           payload: Any) -> None:
+    writer.write(json.dumps(payload, sort_keys=True).encode("utf-8")
+                 + b"\n")
+    await writer.drain()

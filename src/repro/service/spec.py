@@ -1,0 +1,254 @@
+"""Experiment specs: the JSON request format of the sweep service.
+
+One spec fully describes one simulation point, the same cell a
+:class:`~repro.sweep.runner.SweepPoint` names programmatically::
+
+    {
+      "design": "O",
+      "workload": "pr",
+      "workload_kwargs": {},              // optional factory kwargs
+      "mesh": "4x4",                      // optional, scales topology
+      "engine": "batched",                // optional, non-semantic
+      "seed": 2023,                       // optional
+      "config": {                         // optional section overrides
+        "scheduler": {"hybrid_alpha": 2.0},
+        "cache": {"num_camps": 7}
+      },
+      "faults": { ... FaultSchedule.to_dict() ... }   // optional
+    }
+
+Resolution is *key-preserving by construction*: the spec starts from
+:func:`repro.config.experiment_config` and applies exactly the
+transformations the CLI applies (``scaled`` for the mesh, section
+``dataclasses.replace`` for overrides), so a spec submitted to the
+server produces byte-for-byte the same run key — and therefore hits
+the same cache entries — as the equivalent local ``repro run`` /
+``repro sweep`` invocation.  Enum-typed fields accept their value
+strings (``"style": "traveller"``); unknown sections, fields, designs
+and workloads raise :class:`SpecError` with an actionable message
+(answered as HTTP 400, never a server crash).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.config import SystemConfig, experiment_config
+from repro.sweep.keys import UncacheableError, run_key
+
+#: config sections a spec may override (every SystemConfig section).
+CONFIG_SECTIONS = ("topology", "core", "memory", "noc", "sram", "cache",
+                   "scheduler")
+
+#: spec keys the parser understands; anything else is a typo worth 400.
+_KNOWN_KEYS = {"design", "workload", "workload_kwargs", "mesh", "engine",
+               "seed", "config", "faults", "label"}
+
+
+class SpecError(ValueError):
+    """A malformed experiment spec (client error, not a server bug)."""
+
+
+def _coerce_field(section: Any, name: str, value: Any) -> Any:
+    """Coerce a JSON value onto a config dataclass field's type.
+
+    Enums accept their ``.value`` strings; everything else passes
+    through (the config's own ``validate()`` is the arbiter of
+    ranges).
+    """
+    hints = typing.get_type_hints(type(section))
+    target = hints.get(name)
+    if target is None:
+        return value
+    origin = typing.get_origin(target)
+    if origin is Union:  # Optional[...] fields like hybrid_alpha
+        args = [a for a in typing.get_args(target) if a is not type(None)]
+        if len(args) == 1:
+            target = args[0]
+    if isinstance(target, type) and issubclass(target, enum.Enum) \
+            and not isinstance(value, target):
+        try:
+            return target(value)
+        except ValueError:
+            choices = sorted(m.value for m in target)
+            raise SpecError(
+                f"config.{name}: {value!r} is not one of {choices}"
+            )
+    return value
+
+
+def _apply_sections(cfg: SystemConfig,
+                    overrides: Dict[str, Any]) -> SystemConfig:
+    if not isinstance(overrides, dict):
+        raise SpecError(f"config must be an object of sections, "
+                        f"got {type(overrides).__name__}")
+    for section_name, fields in overrides.items():
+        if section_name not in CONFIG_SECTIONS:
+            raise SpecError(
+                f"unknown config section {section_name!r}; expected one "
+                f"of {sorted(CONFIG_SECTIONS)}"
+            )
+        if not isinstance(fields, dict):
+            raise SpecError(
+                f"config.{section_name} must be an object of fields"
+            )
+        section = getattr(cfg, section_name)
+        known = {f.name for f in dataclasses.fields(section)}
+        coerced = {}
+        for name, value in fields.items():
+            if name not in known:
+                raise SpecError(
+                    f"unknown field {name!r} in config.{section_name}; "
+                    f"expected one of {sorted(known)}"
+                )
+            coerced[name] = _coerce_field(section, name, value)
+        try:
+            cfg = cfg.with_(**{
+                section_name: dataclasses.replace(section, **coerced)
+            })
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"config.{section_name}: {exc}")
+    return cfg
+
+
+def _parse_mesh(mesh: str) -> Tuple[int, int]:
+    try:
+        rows, cols = (int(v) for v in str(mesh).lower().split("x"))
+        return rows, cols
+    except ValueError:
+        raise SpecError(f"mesh must look like '4x4', got {mesh!r}")
+
+
+@dataclass
+class ExperimentSpec:
+    """One validated, resolvable experiment request."""
+
+    design: str
+    workload: str
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    mesh: Optional[str] = None
+    engine: Optional[str] = None
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    faults: Optional[Dict[str, Any]] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = f"{self.design}/{self.workload}"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExperimentSpec":
+        """Parse and validate one spec payload (raises SpecError)."""
+        if not isinstance(data, dict):
+            raise SpecError("spec must be a JSON object")
+        unknown = set(data) - _KNOWN_KEYS
+        if unknown:
+            raise SpecError(
+                f"unknown spec key(s) {sorted(unknown)}; expected a "
+                f"subset of {sorted(_KNOWN_KEYS)}"
+            )
+        from repro.core.system import DESIGN_POINTS
+        from repro.workloads.base import WORKLOAD_FACTORIES
+
+        design = data.get("design")
+        if design not in DESIGN_POINTS:
+            raise SpecError(
+                f"unknown design {design!r}; expected one of "
+                f"{sorted(DESIGN_POINTS)}"
+            )
+        workload = data.get("workload")
+        if workload not in WORKLOAD_FACTORIES:
+            raise SpecError(
+                f"unknown workload {workload!r}; expected one of "
+                f"{sorted(WORKLOAD_FACTORIES)}"
+            )
+        kwargs = data.get("workload_kwargs") or {}
+        if not isinstance(kwargs, dict):
+            raise SpecError("workload_kwargs must be an object")
+        seed = data.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise SpecError(f"seed must be an integer, got {seed!r}")
+        faults = data.get("faults")
+        if faults is not None and not isinstance(faults, dict):
+            raise SpecError("faults must be a FaultSchedule object")
+        return cls(
+            design=design, workload=workload,
+            workload_kwargs=dict(kwargs),
+            mesh=data.get("mesh"), engine=data.get("engine"),
+            seed=seed, config=dict(data.get("config") or {}),
+            faults=faults, label=str(data.get("label") or ""),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"design": self.design,
+                               "workload": self.workload}
+        if self.workload_kwargs:
+            out["workload_kwargs"] = self.workload_kwargs
+        if self.mesh:
+            out["mesh"] = self.mesh
+        if self.engine:
+            out["engine"] = self.engine
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.config:
+            out["config"] = self.config
+        if self.faults is not None:
+            out["faults"] = self.faults
+        if self.label != f"{self.design}/{self.workload}":
+            out["label"] = self.label
+        return out
+
+    # ------------------------------------------------------------------
+    def resolved_config(self) -> SystemConfig:
+        """The full :class:`SystemConfig` this spec describes."""
+        cfg = experiment_config()
+        if self.mesh:
+            cfg = cfg.scaled(*_parse_mesh(self.mesh))
+        cfg = _apply_sections(cfg, self.config)
+        if self.engine:
+            cfg = cfg.with_(memory=dataclasses.replace(
+                cfg.memory, access_engine=self.engine))
+        if self.seed is not None:
+            cfg = cfg.with_(seed=self.seed)
+        try:
+            return cfg.validate()
+        except ValueError as exc:
+            raise SpecError(f"invalid configuration: {exc}")
+
+    def fault_schedule(self):
+        """The :class:`~repro.faults.FaultSchedule`, or ``None``."""
+        if self.faults is None:
+            return None
+        from repro.faults.schedule import FaultSchedule
+
+        try:
+            return FaultSchedule.from_dict(self.faults)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(f"invalid fault schedule: {exc}")
+
+    def workload_for_key(self) -> Union[str, Any]:
+        """What the run key hashes: the bare name when there are no
+        kwargs (matching :func:`~repro.sweep.runner.cached_simulate`),
+        the materialized factory instance otherwise."""
+        if not self.workload_kwargs:
+            return self.workload
+        from repro.workloads.base import make_workload
+
+        return make_workload(self.workload, **self.workload_kwargs)
+
+    def run_key(self) -> str:
+        """The content-addressed key of this spec — byte-identical to
+        the key the local sweep engine computes for the same point."""
+        schedule = self.fault_schedule()
+        extra = {"faults": schedule} if schedule else None
+        try:
+            return run_key(self.design, self.workload_for_key(),
+                           self.resolved_config(), extra=extra)
+        except UncacheableError as exc:
+            raise SpecError(f"spec is uncacheable: {exc}")

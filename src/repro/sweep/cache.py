@@ -10,7 +10,11 @@ sweeps).  The cache is *safe by construction*:
 * a corrupted / truncated / stale-schema file counts as a miss (and is
   deleted) — the point is re-simulated live;
 * every filesystem error is swallowed and accounted, never raised: a
-  broken disk degrades to "no cache", not to a failed sweep.
+  broken disk degrades to "no cache", not to a failed sweep;
+* writes are crash-atomic (temp-file-then-rename, so a killed worker
+  never leaves a truncated ``.json``) and serialized across processes
+  through an advisory root lock (:mod:`repro.sweep.locking`); reads
+  never lock — they always see whole files.
 
 Environment overrides:
 
@@ -24,13 +28,13 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.analysis.metrics import RunResult
+from repro.sweep.locking import FileLock, atomic_write_bytes
 from repro.sweep.serialize import result_from_dict, result_to_dict
 
 #: default cache root, relative to the current working directory.
@@ -91,6 +95,10 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def lock_path(self) -> Path:
+        """One advisory writer lock for the whole cache root."""
+        return self.root / ".lock"
+
     def telemetry_path_for(self, key: str) -> Path:
         """Sidecar path for a run's telemetry summary.
 
@@ -135,7 +143,14 @@ class ResultCache:
         result: RunResult,
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Persist one result (atomic write; failures are swallowed)."""
+        """Persist one result (atomic write; failures are swallowed).
+
+        Crash-atomic (temp-file-then-rename: a killed worker never
+        leaves a truncated ``.json`` for :meth:`load` to quarantine)
+        and cross-process safe (writers serialize on the root lock;
+        concurrent same-key stores are idempotent — the key is a
+        content hash, so both write the same bytes).
+        """
         if not self._active():
             return
         payload = {
@@ -146,17 +161,9 @@ class ResultCache:
         }
         path = self.path_for(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=str(path.parent), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            blob = json.dumps(payload).encode("utf-8")
+            with FileLock(self.lock_path()):
+                atomic_write_bytes(path, blob)
             self.stats.stores += 1
         except OSError:
             self.stats.io_errors += 1
@@ -182,17 +189,8 @@ class ResultCache:
         except OSError:
             pass  # unreadable sidecar: fall through and rewrite it
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=str(path.parent), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    fh.write(blob)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            with FileLock(self.lock_path()):
+                atomic_write_bytes(path, blob.encode("utf-8"))
         except OSError:
             self.stats.io_errors += 1
 
@@ -221,12 +219,33 @@ class ResultCache:
         removed = 0
         if not self.root.exists():
             return removed
-        for entry in self.root.glob("*/*.json"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                self.stats.io_errors += 1
+        with FileLock(self.lock_path()):
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    self.stats.io_errors += 1
+        return removed
+
+    def prune_tmp(self) -> int:
+        """Remove orphaned ``*.tmp`` files left by killed writers.
+
+        Atomic writes stage through ``<dir>/tmpXXXX.tmp``; a process
+        killed between staging and rename leaves the orphan behind.
+        Runs under the writer lock so an in-flight store's live temp
+        file (held only within the lock) is never swept.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        with FileLock(self.lock_path()):
+            for entry in self.root.glob("*/*.tmp"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    self.stats.io_errors += 1
         return removed
 
     def __len__(self) -> int:

@@ -1,0 +1,283 @@
+"""Tests for cross-process storage safety: repro.sweep.locking, the
+atomic/locked ResultCache writes, the history ledger's rotation race,
+and ledger compaction."""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.observatory.history import (
+    SCHEMA,
+    HistoryLedger,
+    RunRecord,
+)
+from repro.sweep.cache import ResultCache
+from repro.sweep.locking import (
+    LOCK_SUFFIX,
+    FileLock,
+    atomic_write_bytes,
+    lock_path_for,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_env(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_NO_HISTORY", raising=False)
+    monkeypatch.delenv("REPRO_HISTORY_PATH", raising=False)
+
+
+def _fake_result(design="B", workload="kmeans", makespan=123.0):
+    import numpy as np
+
+    from repro.analysis.metrics import RunResult
+    from repro.arch.dram import DramStats
+    from repro.arch.energy import EnergyBreakdown
+    from repro.arch.noc import TrafficMeter
+    from repro.arch.sram import SramStats
+    from repro.core.cache.traveller import CacheStatsTotal
+
+    return RunResult(
+        design=design,
+        workload=workload,
+        makespan_cycles=makespan,
+        active_cycles_per_core=np.array([1.5, 2.5, 3.0]),
+        traffic=TrafficMeter(inter_hops=7, intra_transfers=3),
+        dram=DramStats(reads=11, writes=5),
+        sram=SramStats(l1_accesses=100),
+        cache=CacheStatsTotal(hits=4, misses=6),
+        energy=EnergyBreakdown(dram_pj=42.0, static_pj=1.0),
+        tasks_executed=9,
+        timestamps_executed=2,
+        steals=1,
+        instructions=1000.0,
+    )
+
+
+def _record(i: int) -> RunRecord:
+    return RunRecord(ts=float(i), design="O", workload="pr",
+                     source="simulate", wall_s=1.0,
+                     key=f"{i:064x}", makespan_cycles=float(i))
+
+
+# ----------------------------------------------------------------------
+class TestFileLock:
+    def test_context_manager_creates_lock_file(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert lock.acquired
+            assert (tmp_path / "x.lock").exists()
+        assert not lock.acquired
+
+    def test_lock_path_for_appends_suffix(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        assert str(lock_path_for(path)).endswith(
+            "history.jsonl" + LOCK_SUFFIX)
+
+    def test_unwritable_lock_degrades_instead_of_raising(self, tmp_path):
+        # the lock parent cannot be created (a *file* sits at the dir
+        # path) — locking must degrade to best-effort, not raise.
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        lock = FileLock(blocker / "x.lock")
+        with lock:
+            assert not lock.acquired  # degraded, but the block still runs
+
+    def test_mutual_exclusion_across_threads(self, tmp_path):
+        counter = tmp_path / "counter.txt"
+        counter.write_text("0")
+        lock_path = tmp_path / "counter.lock"
+        iterations = 50
+
+        def bump():
+            for _ in range(iterations):
+                with FileLock(lock_path):
+                    value = int(counter.read_text())
+                    counter.write_text(str(value + 1))
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert int(counter.read_text()) == 4 * iterations
+
+
+class TestAtomicWrite:
+    def test_writes_bytes_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "sub" / "x.json"
+        atomic_write_bytes(target, b'{"a": 1}')
+        assert target.read_bytes() == b'{"a": 1}'
+        assert list(tmp_path.glob("**/*.tmp")) == []
+
+    def test_overwrites_whole_file(self, tmp_path):
+        target = tmp_path / "x.json"
+        atomic_write_bytes(target, b"long old contents" * 10)
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+
+# ----------------------------------------------------------------------
+class TestCacheStorage:
+    def test_store_is_crash_atomic_layout(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        cache.store("ab" * 32, _fake_result())
+        entry = cache.path_for("ab" * 32)
+        assert entry.exists()
+        assert list((tmp_path / "cache").glob("**/*.tmp")) == []
+        assert cache.load("ab" * 32) is not None
+
+    def test_stored_payload_bytes_pin(self, tmp_path):
+        """The on-disk serialization is pinned: compact-free default
+        ``json.dumps`` of {schema, key, meta, result} — the exact
+        pre-service format, so old caches stay warm."""
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "cd" * 32
+        cache.store(key, _fake_result(), meta={"design": "B"})
+        blob = cache.path_for(key).read_bytes()
+        payload = json.loads(blob)
+        assert list(payload) == ["schema", "key", "meta", "result"]
+        assert payload["schema"] == ResultCache.SCHEMA
+        assert payload["key"] == key
+        # byte-for-byte: plain json.dumps with default separators,
+        # no sort_keys, no indent, ascii escapes on.
+        assert blob == json.dumps(payload).encode("utf-8")
+
+    def test_concurrent_same_key_stores_leave_valid_entry(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "ef" * 32
+        result = _fake_result()
+
+        def store():
+            for _ in range(10):
+                cache.store(key, result)
+
+        threads = [threading.Thread(target=store) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.makespan_cycles == result.makespan_cycles
+
+    def test_prune_tmp_removes_orphans(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        cache.store("12" * 32, _fake_result())
+        orphan = cache.path_for("12" * 32).parent / "tmpdead.tmp"
+        orphan.write_bytes(b"torn write")
+        assert cache.prune_tmp() == 1
+        assert not orphan.exists()
+        assert cache.load("12" * 32) is not None
+
+
+# ----------------------------------------------------------------------
+# the rotation race (satellite #1): multiprocess regression test
+# ----------------------------------------------------------------------
+def _append_records(path: str, max_bytes: int, start: int, count: int,
+                    barrier) -> None:
+    ledger = HistoryLedger(path=path, max_bytes=max_bytes)
+    barrier.wait()
+    for i in range(start, start + count):
+        ledger.append(_record(i))
+
+
+class TestRotationRace:
+    def test_concurrent_appends_rotate_exactly_once_without_loss(
+            self, tmp_path):
+        """Four processes hammer a ledger sized so the combined volume
+        crosses the rotation bound exactly once.  Under the writer
+        lock the stat+replace+append sequence is atomic, so every
+        record survives in current+rotated; without it, concurrent
+        rotations clobber ``<path>.1`` and drop whole generations."""
+        path = tmp_path / "history.jsonl"
+        line_bytes = len(json.dumps(_record(0).to_dict(),
+                                    sort_keys=True,
+                                    separators=(",", ":"))) + 1
+        per_proc, procs = 25, 4
+        total = per_proc * procs
+        # budget ~= 2/3 of the total volume -> exactly one rotation
+        max_bytes = (total * line_bytes * 2) // 3
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(procs)
+        workers = [
+            ctx.Process(target=_append_records,
+                        args=(str(path), max_bytes, p * per_proc,
+                              per_proc, barrier))
+            for p in range(procs)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=60)
+            assert w.exitcode == 0
+
+        survived = []
+        for source in (path.with_name("history.jsonl.1"), path):
+            if source.exists():
+                for line in source.read_text().splitlines():
+                    survived.append(json.loads(line)["ts"])
+        assert len(survived) == total
+        assert sorted(survived) == [float(i) for i in range(total)]
+
+    def test_rotation_keeps_single_generation(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        ledger = HistoryLedger(path=path, max_bytes=600)
+        for i in range(30):
+            ledger.append(_record(i))
+        assert path.exists()
+        assert ledger.rotated_path().exists()
+        assert path.stat().st_size <= 600
+
+
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_merges_generations_and_drops_corrupt(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        ledger = HistoryLedger(path=path, max_bytes=1 << 20)
+        rotated_lines = [json.dumps(_record(i).to_dict(),
+                                    sort_keys=True,
+                                    separators=(",", ":"))
+                         for i in range(3)]
+        ledger.rotated_path().write_text(
+            "\n".join(rotated_lines) + "\ngarbage not json\n")
+        for i in range(3, 6):
+            ledger.append(_record(i))
+        path.write_text(path.read_text() + '{"schema": "wrong"}\n')
+
+        stats = ledger.compact()
+        assert not stats.failed
+        assert stats.records == 6
+        assert stats.merged_generations == 1
+        assert stats.dropped_corrupt == 2
+        assert stats.dropped_old == 0
+        assert not ledger.rotated_path().exists()
+        assert [r.ts for r in ledger.records()] == [
+            float(i) for i in range(6)]
+        assert "6 records kept" in stats.summary()
+
+    def test_budget_keeps_newest(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        ledger = HistoryLedger(path=path, max_bytes=1 << 20)
+        for i in range(20):
+            ledger.append(_record(i))
+        line_bytes = path.stat().st_size // 20
+        stats = ledger.compact(max_bytes=line_bytes * 5)
+        assert stats.records <= 5
+        assert stats.dropped_old >= 15
+        kept = [r.ts for r in ledger.records()]
+        assert kept == sorted(kept)
+        assert kept[-1] == 19.0  # newest survives
+
+    def test_compact_empty_ledger_is_noop(self, tmp_path):
+        ledger = HistoryLedger(path=tmp_path / "history.jsonl")
+        stats = ledger.compact()
+        assert not stats.failed
+        assert stats.records == 0
+
+    def test_schema_constant_unchanged(self):
+        # compaction filters on this tag; pin it so old ledgers compact
+        assert SCHEMA == "repro-history-v1"
