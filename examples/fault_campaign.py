@@ -9,22 +9,26 @@ baseline (B) re-places stranded tasks near their (now unreachable)
 homes and pays timeout penalties, while full ABNDP (O) folds the
 re-placed work into its normal hybrid balancing.
 
-Every point runs through the sweep cache, so re-running the study is
-nearly free; the fault schedules are seed-derived and reproducible.
+The study itself is the committed ``campaigns/fault_study.json``
+campaign — designs, failure counts and seed-derived schedules all live
+in that one file (this script only renders the plot).  Every point
+runs through the sweep cache, so re-running the study is nearly free
+and ``repro campaign run campaigns/fault_study.json`` shares the same
+cache entries.
 
 Run:  python examples/fault_campaign.py [workload] [--no-cache]
       (default workload: pr)
 """
 
 import sys
+from pathlib import Path
 
 import repro
 from repro.analysis.plotting import line_series
-from repro.arch.topology import Topology
-from repro.faults import make_random_schedule, run_fault_campaign
+from repro.campaign import load_campaign, run_campaign
 
-DESIGNS = ("B", "O")
-FAILURE_COUNTS = (0, 2, 4, 8, 12)
+CAMPAIGN_FILE = Path(__file__).resolve().parent.parent / "campaigns" \
+    / "fault_study.json"
 
 
 def main() -> None:
@@ -36,44 +40,56 @@ def main() -> None:
             f"unknown workload {name!r}; pick one of {repro.ALL_WORKLOADS}"
         )
 
-    cfg = repro.experiment_config()
-    topo = Topology(cfg.topology, num_groups=cfg.cache.num_groups())
-    workload = repro.make_workload(name)
+    campaign = load_campaign(CAMPAIGN_FILE)
+    expansion = campaign.expand(sets={"base.workload": name})
+    designs = campaign.doc["axes"]["design"]
+    fault_axis = campaign.doc["axes"]["faults"]
+    counts = [(v or {}).get("random", {}).get("unit_fails", 0)
+              for v in fault_axis]
+    seed = repro.experiment_config().seed
 
-    print(f"Failing units under {name!r} (seed {cfg.seed}, "
-          f"{topo.num_units} units)...\n")
-    slowdowns = {d: [] for d in DESIGNS}
-    for design in DESIGNS:
-        for fails in FAILURE_COUNTS:
-            if fails == 0:
-                slowdowns[design].append(1.0)
-                continue
-            schedule = make_random_schedule(
-                topo.num_units, topo.mesh_links(),
-                unit_fails=fails, seed=cfg.seed,
-            )
-            campaign = run_fault_campaign(
-                design, workload, schedule, config=cfg, cache=cache,
-            )
-            assert campaign.total_lost_tasks == 0, "tasks were lost!"
-            s = campaign.slowdown("f0")
-            res = campaign.faulted["f0"].resilience
+    print(f"Failing units under {name!r} (seed {seed}, "
+          f"campaign {campaign.name!r})...\n")
+    report = run_campaign(campaign, expansion, cache=cache)
+    if report.failures:
+        for o in report.failures:
+            print(f"FAILED {o.point.label}: {o.error}")
+        raise SystemExit(1)
+
+    by_design = {d: {} for d in designs}
+    for outcome in report.outcomes:
+        fails = (outcome.point.spec.faults or {"events": []})
+        fails = sum(1 for e in fails["events"]
+                    if e.get("kind") == "unit_fail")
+        by_design[outcome.point.spec.design][fails] = outcome.result
+
+    slowdowns = {d: [] for d in designs}
+    for design in designs:
+        healthy = by_design[design][0]
+        for fails in counts:
+            r = by_design[design][fails]
+            lost = healthy.tasks_executed - r.tasks_executed
+            assert lost == 0, "tasks were lost!"
+            s = r.makespan_cycles / healthy.makespan_cycles
             slowdowns[design].append(s)
-            print(f"  {design}: {fails:3d} failed -> slowdown {s:5.2f}  "
-                  f"(reexecuted {res.tasks_reexecuted}, "
-                  f"unreachable {res.unreachable_accesses})")
+            if fails:
+                res = r.resilience
+                print(f"  {design}: {fails:3d} failed -> slowdown "
+                      f"{s:5.2f}  "
+                      f"(reexecuted {res.tasks_reexecuted}, "
+                      f"unreachable {res.unreachable_accesses})")
 
     print()
     print(line_series(
         f"slowdown vs. failed units ({name}, zero lost tasks everywhere)",
-        list(FAILURE_COUNTS),
+        counts,
         {f"{d} ({'baseline' if d == 'B' else 'ABNDP'})": slowdowns[d]
-         for d in DESIGNS},
+         for d in designs},
         height=12,
     ))
     print()
     b_tail, o_tail = slowdowns["B"][-1], slowdowns["O"][-1]
-    print(f"With {FAILURE_COUNTS[-1]} dead units: B slows {b_tail:.2f}x, "
+    print(f"With {counts[-1]} dead units: B slows {b_tail:.2f}x, "
           f"O slows {o_tail:.2f}x — and neither lost a single task.")
 
 

@@ -1,0 +1,66 @@
+"""CI gate for the campaign subsystem: cold then warm, warm all hits.
+
+Runs the tiny committed ``campaigns/smoke.json`` campaign twice
+against a throwaway cache root:
+
+* the **cold** pass must simulate every point (``source == "run"``),
+* the **warm** pass must answer every point from the cache
+  (``source == "cache"`` — zero new executions),
+
+and both passes must agree on every run key.  This is the end-to-end
+half of the ``campaign-smoke`` CI job; the other half is
+``repro campaign validate campaigns/*.json``.
+"""
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-smoke-") \
+            as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ["REPRO_NO_HISTORY"] = "1"
+
+        from repro.campaign import load_campaign, run_campaign
+
+        campaign = load_campaign(ROOT / "campaigns" / "smoke.json")
+        expansion = campaign.expand()
+        print(f"campaign {campaign.name!r}: {len(expansion.points)} "
+              f"point(s), fingerprint {expansion.fingerprint}")
+
+        cold = run_campaign(campaign, expansion, jobs=1)
+        print(f"cold: {cold.summary()}")
+        bad = [o for o in cold.outcomes if o.source not in ("run",
+                                                            "retry")]
+        if cold.failures or bad:
+            print("error: cold pass should simulate every point",
+                  file=sys.stderr)
+            return 1
+
+        warm = run_campaign(campaign, campaign.expand(), jobs=1)
+        print(f"warm: {warm.summary()}")
+        misses = [o for o in warm.outcomes if o.source != "cache"]
+        if warm.failures or misses:
+            print(f"error: warm pass had {len(misses)} non-cache "
+                  f"point(s) — the campaign path is not key-stable",
+                  file=sys.stderr)
+            return 1
+
+        cold_keys = [o.key for o in cold.outcomes]
+        warm_keys = [o.key for o in warm.outcomes]
+        if cold_keys != warm_keys or None in cold_keys:
+            print("error: cold/warm run keys disagree", file=sys.stderr)
+            return 1
+        print(f"ok: {len(warm_keys)} point(s) replayed warm from the "
+              f"cache with zero new executions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Check that every relative Markdown link in the docs resolves.
 
-Scans ``README.md`` and ``docs/*.md`` for inline links and validates:
+Scans ``README.md``, ``docs/*.md`` and ``campaigns/README.md`` for
+inline links and validates:
 
 * relative file targets exist (resolved against the linking file's
   directory);
@@ -77,6 +78,7 @@ def iter_links(path: Path):
 
 def main() -> int:
     files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    files += sorted((REPO / "campaigns").glob("*.md"))
     errors: list[str] = []
     for src in files:
         for lineno, target in iter_links(src):

@@ -1,18 +1,25 @@
 """Run the full Figure 6/7/8 matrix: all designs x all workloads.
 
-Fans the 48-point grid out over worker processes and routes every
-point through the content-addressed result cache, so a second
-invocation with unchanged configs replays from ``.repro_cache/`` in
-well under a second.  ``--no-cache`` forces live runs; ``--jobs 1``
-reproduces the old serial path (bit-identical results either way).
+The grid itself is no longer defined here — it is the committed
+``campaigns/full_matrix.json`` campaign, expanded and executed through
+the declarative campaign subsystem (same run keys, same cache entries
+as ``repro sweep`` and any ``--server`` submission of the same file).
+A second invocation with unchanged configs replays from
+``.repro_cache/`` in well under a second.  ``--no-cache`` forces live
+runs; ``--jobs 1`` reproduces the old serial path (bit-identical
+results either way).
 """
 
 import argparse
 import time
+from pathlib import Path
 
 import repro
 from repro.analysis.stats import geomean
-from repro.sweep import run_matrix
+from repro.campaign import load_campaign, run_campaign
+
+CAMPAIGN_FILE = Path(__file__).resolve().parent.parent / "campaigns" \
+    / "full_matrix.json"
 
 
 def main(argv=None):
@@ -26,7 +33,9 @@ def main(argv=None):
     args = ap.parse_args(argv)
 
     t0 = time.time()
-    report = run_matrix(
+    campaign = load_campaign(CAMPAIGN_FILE)
+    report = run_campaign(
+        campaign, campaign.expand(),
         cache=False if args.no_cache else "default",
         jobs=args.jobs,
         progress=None if args.quiet else (lambda m: print(m, flush=True)),

@@ -1,0 +1,69 @@
+"""Declarative experiment campaigns: one committed file per study.
+
+A campaign file (JSON natively, YAML when PyYAML happens to be
+installed) describes a whole experiment — base configuration, an
+``axes`` grid with include/exclude lists, ``${...}`` cross-references,
+``$RUNTIME_VALUE`` placeholders, fault schedules, an ``overrides``
+layer, telemetry and artifact options — and resolves to the same run
+keys the CLI and the experiment server compute, so campaigns, flags,
+and server submissions all share one cache.
+
+Lazy exports (PEP 562) keep ``import repro.campaign`` light and break
+the cycle with :mod:`repro.service.spec`, which imports the resolver
+while :mod:`repro.campaign.spec` imports the spec class back.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "SpecError": ("repro.campaign.resolver", "SpecError"),
+    "interpolate": ("repro.campaign.resolver", "interpolate"),
+    "parse_set_args": ("repro.campaign.resolver", "parse_set_args"),
+    "resolve_system_config": ("repro.campaign.resolver",
+                              "resolve_system_config"),
+    "CampaignSpec": ("repro.campaign.spec", "CampaignSpec"),
+    "CampaignPoint": ("repro.campaign.spec", "CampaignPoint"),
+    "Expansion": ("repro.campaign.spec", "Expansion"),
+    "load_campaign": ("repro.campaign.spec", "load_campaign"),
+    "CampaignReport": ("repro.campaign.runner", "CampaignReport"),
+    "run_campaign": ("repro.campaign.runner", "run_campaign"),
+    "run_campaign_via_server": ("repro.campaign.runner",
+                                "run_campaign_via_server"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover — typing-time only
+    from repro.campaign.resolver import (  # noqa: F401
+        SpecError,
+        interpolate,
+        parse_set_args,
+        resolve_system_config,
+    )
+    from repro.campaign.runner import (  # noqa: F401
+        CampaignReport,
+        run_campaign,
+        run_campaign_via_server,
+    )
+    from repro.campaign.spec import (  # noqa: F401
+        CampaignPoint,
+        CampaignSpec,
+        Expansion,
+        load_campaign,
+    )

@@ -12,6 +12,10 @@
     python -m repro sweep alpha -w pr        # a Section 7.2 parameter sweep
     python -m repro faults O pr --units 4    # resilience campaign under
                                              # injected failures
+    python -m repro campaign run \
+        campaigns/full_matrix.json           # a committed declarative
+                                             # campaign file (validate /
+                                             # expand / report too)
     python -m repro bench                    # time the simulator itself
                                              # -> BENCH_<n>.json
     python -m repro diff -1 -2               # compare the two newest
@@ -529,6 +533,159 @@ def cmd_faults(args) -> int:
     return 1 if (lost_any or campaign.failures) else 0
 
 
+def _campaign_events(args, log, campaign, out_dir):
+    """Event consumers for a campaign run: the usual progress flags
+    plus the campaign file's own ``telemetry.progress_jsonl``."""
+    from pathlib import Path
+
+    from repro.observatory.progress import JsonlProgress, tee
+
+    consumers = []
+    base = _events_from_args(args, log)
+    if base is not None:
+        consumers.append(base)
+    telemetry = campaign.doc.get("telemetry") or {}
+    jsonl = telemetry.get("progress_jsonl")
+    if jsonl and not getattr(args, "progress_jsonl", None):
+        path = Path(jsonl)
+        if not path.is_absolute():
+            path = Path(out_dir) / path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        consumers.append(JsonlProgress(str(path)))
+    return tee(*consumers) if consumers else None
+
+
+def _campaign_out_dir(args, campaign):
+    artifacts = campaign.doc.get("artifacts") or {}
+    return (getattr(args, "out", None) or artifacts.get("dir")
+            or f"campaign_out/{campaign.name}")
+
+
+def cmd_campaign(args) -> int:
+    """``python -m repro campaign run|validate|expand|report``: the
+    declarative front door (docs/campaigns.md).  ``validate`` and
+    ``expand`` keep stdout machine-parseable with ``--json``; status
+    goes to the stderr logger."""
+    from repro.campaign import load_campaign, parse_set_args
+
+    log = _log_from_args(args)
+    sets = parse_set_args(getattr(args, "set", None))
+
+    if args.action == "validate":
+        rows, ok = [], True
+        for path in args.file:
+            row = {"file": str(path), "ok": True, "error": ""}
+            try:
+                campaign = load_campaign(path)
+                expansion = campaign.expand(sets=sets)
+                row.update(name=campaign.name,
+                           points=len(expansion.points),
+                           fingerprint=expansion.fingerprint,
+                           duplicates_dropped=
+                           expansion.duplicates_dropped)
+                log.detail(f"{path}: {len(expansion.points)} point(s), "
+                           f"fingerprint {expansion.fingerprint}")
+            except ValueError as exc:
+                ok = False
+                row.update(ok=False, error=str(exc))
+                log.error(f"invalid campaign {path}: {exc}")
+            rows.append(row)
+        if args.json_out:
+            print(_json.dumps({"ok": ok, "campaigns": rows}, indent=2,
+                              sort_keys=True))
+        else:
+            for row in rows:
+                status = "ok " if row["ok"] else "BAD"
+                detail = (f"{row.get('name')}: {row.get('points')} "
+                          f"point(s) [{row.get('fingerprint')}]"
+                          if row["ok"] else row["error"])
+                print(f"{status} {row['file']} — {detail}")
+        return 0 if ok else 2
+
+    if args.action == "expand":
+        campaign = load_campaign(args.file)
+        expansion = campaign.expand(sets=sets)
+        log.detail(f"{campaign.name}: {len(expansion.points)} point(s), "
+                   f"{expansion.duplicates_dropped} duplicate(s) "
+                   f"dropped")
+        points = [{"label": p.label, "key": p.spec.run_key(),
+                   "spec": p.spec.to_dict()}
+                  for p in expansion.points]
+        if args.json_out:
+            print(_json.dumps({
+                "name": campaign.name,
+                "fingerprint": expansion.fingerprint,
+                "duplicates_dropped": expansion.duplicates_dropped,
+                "points": points,
+            }, indent=2, sort_keys=True))
+        else:
+            for point in points:
+                print(f"{point['key'][:12]}  {point['label']}")
+            print(f"{len(points)} point(s), fingerprint "
+                  f"{expansion.fingerprint}")
+        return 0
+
+    if args.action == "report":
+        from repro.campaign import CampaignReport
+        from pathlib import Path
+
+        path = Path(args.path)
+        if path.is_dir():
+            path = path / "report.json"
+        payload = CampaignReport.load(path)
+        if args.json_out:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"campaign {payload.get('name')!r} "
+              f"[{payload.get('fingerprint')}] — spec "
+              f"{payload.get('spec_path') or '<inline>'} "
+              f"(sha256 {str(payload.get('spec_sha256'))[:12]})")
+        for point in payload.get("points", []):
+            key = (point.get("key") or "")[:12]
+            metrics = point.get("metrics") or {}
+            makespan = metrics.get("makespan_cycles")
+            tail = (f"makespan={makespan:,.0f}"
+                    if isinstance(makespan, (int, float))
+                    else f"error: {point.get('error')}")
+            print(f"  {key:12}  {point.get('source', ''):6} "
+                  f"{point.get('label', ''):28} {tail}")
+        return 0
+
+    # action == "run"
+    campaign = load_campaign(args.file)
+    expansion = campaign.expand(sets=sets)
+    out_dir = _campaign_out_dir(args, campaign)
+    log.info(f"campaign {campaign.name!r}: {len(expansion.points)} "
+             f"point(s), fingerprint {expansion.fingerprint}")
+    if expansion.duplicates_dropped:
+        log.detail(f"{expansion.duplicates_dropped} duplicate "
+                   f"point(s) dropped during expansion")
+    events = _campaign_events(args, log, campaign, out_dir)
+    if getattr(args, "server", None):
+        from repro.campaign import run_campaign_via_server
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.server)
+        log.detail(f"submitting campaign to {client.base_url}")
+        report = run_campaign_via_server(client, campaign, sets=sets,
+                                         events=events)
+    else:
+        from repro.campaign import run_campaign
+
+        report = run_campaign(campaign, expansion,
+                              cache=_cache_from_args(args),
+                              jobs=args.jobs, events=events)
+    for o in report.failures:
+        log.error(f"FAILED {o.point.label}: "
+                  f"{(o.error or 'unknown').strip().splitlines()[-1]}")
+    report_path = report.write(out_dir,
+                               artifacts=campaign.doc.get("artifacts"))
+    print(report.summary())
+    print(f"wrote {report_path}")
+    _export(args, [o.result for o in report.outcomes if o.ok])
+    return 1 if report.failures else 0
+
+
 def cmd_bench(args) -> int:
     """``python -m repro bench``: time the simulator itself (see
     docs/performance.md) and record a ``BENCH_<n>.json`` at the repo
@@ -988,6 +1145,68 @@ def build_parser() -> argparse.ArgumentParser:
     add_progress(p_sweep)
     add_server(p_sweep)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="declarative campaigns: run/validate/expand committed "
+             "campaigns/*.json specs (see docs/campaigns.md)",
+    )
+    csub = p_campaign.add_subparsers(dest="action", required=True)
+
+    def add_sets(p):
+        p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                       default=None,
+                       help="override a campaign or point value "
+                            "(repeatable; JSON-parsed, applied last; "
+                            "also binds $RUNTIME_VALUE placeholders)")
+
+    pc_run = csub.add_parser(
+        "run", help="expand a campaign and run every point (local "
+                    "sweep engine, or --server URL)")
+    pc_run.add_argument("file", help="campaign JSON file")
+    add_sets(pc_run)
+    pc_run.add_argument("--out", metavar="DIR", default=None,
+                        help="artifact directory for report.json "
+                             "(default: the campaign's artifacts.dir, "
+                             "else campaign_out/<name>)")
+    pc_run.add_argument("--csv", help="export results to a CSV file")
+    pc_run.add_argument("--json", help="export results to a JSON file")
+    pc_run.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    pc_run.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    add_progress(pc_run)
+    add_server(pc_run)
+
+    pc_validate = csub.add_parser(
+        "validate", help="load and expand campaign files, reporting "
+                         "errors without running anything")
+    pc_validate.add_argument("file", nargs="+",
+                             help="campaign JSON file(s)")
+    add_sets(pc_validate)
+    pc_validate.add_argument("--json", dest="json_out",
+                             action="store_true",
+                             help="machine-readable verdicts on stdout")
+    add_verbosity(pc_validate)
+
+    pc_expand = csub.add_parser(
+        "expand", help="print the expanded point list (labels, run "
+                       "keys, resolved specs) without running")
+    pc_expand.add_argument("file", help="campaign JSON file")
+    add_sets(pc_expand)
+    pc_expand.add_argument("--json", dest="json_out",
+                           action="store_true",
+                           help="machine-readable expansion on stdout")
+    add_verbosity(pc_expand)
+
+    pc_report = csub.add_parser(
+        "report", help="render an archived campaign report.json")
+    pc_report.add_argument("path",
+                           help="artifact directory or report.json path")
+    pc_report.add_argument("--json", dest="json_out",
+                           action="store_true",
+                           help="dump the raw report payload")
+    add_verbosity(pc_report)
+
     p_diff = sub.add_parser(
         "diff",
         help="compare two recorded runs (history indices like -1/-2, "
@@ -1080,6 +1299,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "bench": cmd_bench,
     "sweep": cmd_sweep,
+    "campaign": cmd_campaign,
     "diff": cmd_diff,
     "regress": cmd_regress,
     "serve": cmd_serve,

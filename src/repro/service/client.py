@@ -116,6 +116,19 @@ class ServiceClient:
         return self._json("POST", "/v1/submit",
                           query={"wait": 1 if wait else None}, body=body)
 
+    def campaign(self, doc: Dict[str, Any],
+                 sets: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Expand and intake a whole campaign document server-side.
+
+        Answers ``{name, fingerprint, total, pool, points: [...]}``
+        with one ``{label, key, status, attached, spec}`` row per
+        deduped point (``status`` as in :meth:`submit`).
+        """
+        body: Dict[str, Any] = {"campaign": dict(doc)}
+        if sets:
+            body["set"] = dict(sets)
+        return self._json("POST", "/v1/campaign", body=body)
+
     def result_bytes(self, key: str, telemetry: bool = False) -> bytes:
         """The stored entry for ``key``, exactly as the server holds it."""
         return self._bytes(f"/v1/result/{key}",

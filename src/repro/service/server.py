@@ -36,6 +36,12 @@ GET      /v1/health              liveness + simulator version
 GET      /v1/stats               dedup counters, job table, cache stats
 POST     /v1/submit              spec in body; ``?wait=1`` long-polls
                                  until the point is terminal
+POST     /v1/campaign            campaign document in body (optionally
+                                 ``{"campaign": doc, "set": {...}}``);
+                                 expands server-side, intakes every
+                                 point through the same dedup rules,
+                                 answers one ``{label, key, status}``
+                                 row per point
 GET      /v1/result/<key>        cached result entry (raw bytes);
                                  ``?telemetry=1`` for the sidecar
 GET      /v1/events/<key>        NDJSON progress stream (replay+live)
@@ -142,6 +148,7 @@ class ExperimentServer:
             "executions": 0,      # jobs dispatched to the worker pool
             "dedup_attached": 0,  # submits that joined an existing job
             "cache_hits": 0,      # submits answered from the cache
+            "campaigns": 0,       # POST /v1/campaign documents expanded
         }
         self._executor = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -234,6 +241,8 @@ class ExperimentServer:
             await self._handle_stats(writer)
         elif route == "submit" and req.method == "POST":
             await self._handle_submit(req, writer)
+        elif route == "campaign" and req.method == "POST":
+            await self._handle_campaign(req, writer)
         elif route == "result" and req.method == "GET" and tail:
             await self._handle_result(req, writer, tail)
         elif route == "events" and req.method == "GET" and tail:
@@ -247,8 +256,9 @@ class ExperimentServer:
         elif route == "shutdown" and req.method == "POST":
             await send_json(writer, {"ok": True, "stopping": True})
             self.request_stop()
-        elif route in ("health", "stats", "submit", "result", "events",
-                       "history", "diff", "regress", "shutdown"):
+        elif route in ("health", "stats", "submit", "campaign", "result",
+                       "events", "history", "diff", "regress",
+                       "shutdown"):
             await send_error(writer, 405,
                              f"{req.method} not allowed on {req.path!r}")
         else:
@@ -293,42 +303,17 @@ class ExperimentServer:
         self.counters["submissions"] += 1
         wait = req.query.get("wait") not in (None, "", "0")
 
-        job = self.jobs.get(key)
-        if job is None or job.terminal:
-            # warm path first: a finished (or never-seen) key with a
-            # cache entry is answered without touching the job table.
-            hit = await loop.run_in_executor(None, self.cache.load, key)
-            if hit is not None:
-                self.counters["cache_hits"] += 1
-                await send_json(writer, {"key": key, "status": "cached",
-                                         "attached": False})
-                return
-            # the await released the loop: a racing submit may have
-            # created this key's job meanwhile — re-read before
-            # choosing between create and attach, or two clients
-            # would each dispatch the same simulation.
-            job = self.jobs.get(key)
-        if job is not None and job.status == "done" and \
-                job.result_bytes is not None:
-            # done but uncacheable (vector tier / cache disabled):
-            # serve the finished job from memory.
-            self.counters["cache_hits"] += 1
+        status, attached, job = await self._intake(spec, config, key)
+        if status == "cached":
+            await send_json(writer, {"key": key, "status": "cached",
+                                     "attached": False})
+            return
+        if status == "done":
             await send_json(writer, {
                 "key": key, "status": "done", "attached": False,
                 "elapsed_s": round(job.elapsed_s, 3), "error": "",
             })
             return
-        if job is None or job.terminal:
-            # new point — or a failed one being retried.
-            job = Job(key=key, spec=spec, config=config)
-            self.jobs[key] = job
-            self.counters["executions"] += 1
-            asyncio.ensure_future(self._run_job(job))
-            attached = False
-        else:
-            self.counters["dedup_attached"] += 1
-            job.waiters += 1
-            attached = True
 
         if not wait:
             await send_json(writer, {
@@ -343,6 +328,103 @@ class ExperimentServer:
             "key": key, "status": job.status, "attached": attached,
             "elapsed_s": round(job.elapsed_s, 3),
             "error": job.error,
+        })
+
+    async def _intake(self, spec: ExperimentSpec, config: Any,
+                      key: str) -> tuple:
+        """Dedup intake for one resolved point (submit and campaign
+        share this path, so both obey the same rules and counters).
+
+        Returns ``(status, attached, job)`` where status is
+        ``"cached"`` (answered from the shared cache, no job),
+        ``"done"`` (finished but uncacheable job served from memory)
+        or ``"active"`` (job created or attached — may already be
+        terminal; read ``job.status``).
+        """
+        loop = asyncio.get_running_loop()
+        job = self.jobs.get(key)
+        if job is None or job.terminal:
+            # warm path first: a finished (or never-seen) key with a
+            # cache entry is answered without touching the job table.
+            hit = await loop.run_in_executor(None, self.cache.load, key)
+            if hit is not None:
+                self.counters["cache_hits"] += 1
+                return "cached", False, None
+            # the await released the loop: a racing submit may have
+            # created this key's job meanwhile — re-read before
+            # choosing between create and attach, or two clients
+            # would each dispatch the same simulation.
+            job = self.jobs.get(key)
+        if job is not None and job.status == "done" and \
+                job.result_bytes is not None:
+            # done but uncacheable (vector tier / cache disabled):
+            # serve the finished job from memory.
+            self.counters["cache_hits"] += 1
+            return "done", False, job
+        if job is None or job.terminal:
+            # new point — or a failed one being retried.
+            job = Job(key=key, spec=spec, config=config)
+            self.jobs[key] = job
+            self.counters["executions"] += 1
+            asyncio.ensure_future(self._run_job(job))
+            attached = False
+        else:
+            self.counters["dedup_attached"] += 1
+            job.waiters += 1
+            attached = True
+        return "active", attached, job
+
+    async def _handle_campaign(self, req: Request, writer) -> None:
+        """Expand a campaign document worker-side and intake every
+        point through the same dedup rules as ``/v1/submit``."""
+        loop = asyncio.get_running_loop()
+        try:
+            body = req.json()
+            if isinstance(body, dict) and "campaign" in body:
+                doc = body.get("campaign")
+                sets = body.get("set") or {}
+            else:
+                doc, sets = body, {}
+            if not isinstance(sets, dict):
+                raise SpecError(
+                    "set must be an object of {path: value} entries")
+
+            def _expand():
+                from repro.campaign.spec import CampaignSpec
+
+                campaign = CampaignSpec.from_dict(doc)
+                return campaign, campaign.expand(sets=sets)
+
+            campaign, expansion = await loop.run_in_executor(
+                None, _expand)
+            resolved = []
+            for point in expansion.points:
+                config = await loop.run_in_executor(
+                    None, point.spec.resolved_config)
+                key = await loop.run_in_executor(
+                    None, point.spec.run_key)
+                resolved.append((point, config, key))
+        except (ProtocolError, SpecError) as exc:
+            await send_error(writer, 400, str(exc))
+            return
+        self.counters["campaigns"] += 1
+        rows = []
+        for point, config, key in resolved:
+            self.counters["submissions"] += 1
+            status, attached, job = await self._intake(
+                point.spec, config, key)
+            if status == "active":
+                status = job.status if job.terminal else "submitted"
+            rows.append({"label": point.label, "key": key,
+                         "status": status, "attached": attached,
+                         "spec": point.spec.to_dict()})
+        await send_json(writer, {
+            "name": campaign.name,
+            "fingerprint": expansion.fingerprint,
+            "total": len(rows),
+            "pool": self.pool_width(),
+            "duplicates_dropped": expansion.duplicates_dropped,
+            "points": rows,
         })
 
     async def _handle_result(self, req: Request, writer,

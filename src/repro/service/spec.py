@@ -27,100 +27,35 @@ the same cache entries — as the equivalent local ``repro run`` /
 strings (``"style": "traveller"``); unknown sections, fields, designs
 and workloads raise :class:`SpecError` with an actionable message
 (answered as HTTP 400, never a server crash).
+
+Since the campaign subsystem landed, all of the parsing and
+resolution logic lives in :mod:`repro.campaign.resolver`; a spec is a
+thin wrapper over it — a single experiment is a single-point
+campaign.  The names re-exported here (``SpecError``,
+``CONFIG_SECTIONS``) are the same objects the resolver defines, so
+``isinstance`` checks and imports written against either module agree.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import typing
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Union
 
-from repro.config import SystemConfig, experiment_config
+from repro.campaign.resolver import (  # noqa: F401 (re-exports)
+    CONFIG_SECTIONS,
+    POINT_KEYS,
+    SpecError,
+    apply_sections as _apply_sections,
+    coerce_field as _coerce_field,
+    parse_mesh as _parse_mesh,
+    resolve_system_config,
+    validate_point,
+)
+from repro.config import SystemConfig
 from repro.sweep.keys import UncacheableError, run_key
 
-#: config sections a spec may override (every SystemConfig section).
-CONFIG_SECTIONS = ("topology", "core", "memory", "noc", "sram", "cache",
-                   "scheduler")
-
 #: spec keys the parser understands; anything else is a typo worth 400.
-_KNOWN_KEYS = {"design", "workload", "workload_kwargs", "mesh", "engine",
-               "seed", "config", "faults", "label"}
-
-
-class SpecError(ValueError):
-    """A malformed experiment spec (client error, not a server bug)."""
-
-
-def _coerce_field(section: Any, name: str, value: Any) -> Any:
-    """Coerce a JSON value onto a config dataclass field's type.
-
-    Enums accept their ``.value`` strings; everything else passes
-    through (the config's own ``validate()`` is the arbiter of
-    ranges).
-    """
-    hints = typing.get_type_hints(type(section))
-    target = hints.get(name)
-    if target is None:
-        return value
-    origin = typing.get_origin(target)
-    if origin is Union:  # Optional[...] fields like hybrid_alpha
-        args = [a for a in typing.get_args(target) if a is not type(None)]
-        if len(args) == 1:
-            target = args[0]
-    if isinstance(target, type) and issubclass(target, enum.Enum) \
-            and not isinstance(value, target):
-        try:
-            return target(value)
-        except ValueError:
-            choices = sorted(m.value for m in target)
-            raise SpecError(
-                f"config.{name}: {value!r} is not one of {choices}"
-            )
-    return value
-
-
-def _apply_sections(cfg: SystemConfig,
-                    overrides: Dict[str, Any]) -> SystemConfig:
-    if not isinstance(overrides, dict):
-        raise SpecError(f"config must be an object of sections, "
-                        f"got {type(overrides).__name__}")
-    for section_name, fields in overrides.items():
-        if section_name not in CONFIG_SECTIONS:
-            raise SpecError(
-                f"unknown config section {section_name!r}; expected one "
-                f"of {sorted(CONFIG_SECTIONS)}"
-            )
-        if not isinstance(fields, dict):
-            raise SpecError(
-                f"config.{section_name} must be an object of fields"
-            )
-        section = getattr(cfg, section_name)
-        known = {f.name for f in dataclasses.fields(section)}
-        coerced = {}
-        for name, value in fields.items():
-            if name not in known:
-                raise SpecError(
-                    f"unknown field {name!r} in config.{section_name}; "
-                    f"expected one of {sorted(known)}"
-                )
-            coerced[name] = _coerce_field(section, name, value)
-        try:
-            cfg = cfg.with_(**{
-                section_name: dataclasses.replace(section, **coerced)
-            })
-        except (TypeError, ValueError) as exc:
-            raise SpecError(f"config.{section_name}: {exc}")
-    return cfg
-
-
-def _parse_mesh(mesh: str) -> Tuple[int, int]:
-    try:
-        rows, cols = (int(v) for v in str(mesh).lower().split("x"))
-        return rows, cols
-    except ValueError:
-        raise SpecError(f"mesh must look like '4x4', got {mesh!r}")
+_KNOWN_KEYS = set(POINT_KEYS)
 
 
 @dataclass
@@ -145,45 +80,7 @@ class ExperimentSpec:
     @classmethod
     def from_dict(cls, data: Any) -> "ExperimentSpec":
         """Parse and validate one spec payload (raises SpecError)."""
-        if not isinstance(data, dict):
-            raise SpecError("spec must be a JSON object")
-        unknown = set(data) - _KNOWN_KEYS
-        if unknown:
-            raise SpecError(
-                f"unknown spec key(s) {sorted(unknown)}; expected a "
-                f"subset of {sorted(_KNOWN_KEYS)}"
-            )
-        from repro.core.system import DESIGN_POINTS
-        from repro.workloads.base import WORKLOAD_FACTORIES
-
-        design = data.get("design")
-        if design not in DESIGN_POINTS:
-            raise SpecError(
-                f"unknown design {design!r}; expected one of "
-                f"{sorted(DESIGN_POINTS)}"
-            )
-        workload = data.get("workload")
-        if workload not in WORKLOAD_FACTORIES:
-            raise SpecError(
-                f"unknown workload {workload!r}; expected one of "
-                f"{sorted(WORKLOAD_FACTORIES)}"
-            )
-        kwargs = data.get("workload_kwargs") or {}
-        if not isinstance(kwargs, dict):
-            raise SpecError("workload_kwargs must be an object")
-        seed = data.get("seed")
-        if seed is not None and not isinstance(seed, int):
-            raise SpecError(f"seed must be an integer, got {seed!r}")
-        faults = data.get("faults")
-        if faults is not None and not isinstance(faults, dict):
-            raise SpecError("faults must be a FaultSchedule object")
-        return cls(
-            design=design, workload=workload,
-            workload_kwargs=dict(kwargs),
-            mesh=data.get("mesh"), engine=data.get("engine"),
-            seed=seed, config=dict(data.get("config") or {}),
-            faults=faults, label=str(data.get("label") or ""),
-        )
+        return cls(**validate_point(data))
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"design": self.design,
@@ -207,19 +104,8 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     def resolved_config(self) -> SystemConfig:
         """The full :class:`SystemConfig` this spec describes."""
-        cfg = experiment_config()
-        if self.mesh:
-            cfg = cfg.scaled(*_parse_mesh(self.mesh))
-        cfg = _apply_sections(cfg, self.config)
-        if self.engine:
-            cfg = cfg.with_(memory=dataclasses.replace(
-                cfg.memory, access_engine=self.engine))
-        if self.seed is not None:
-            cfg = cfg.with_(seed=self.seed)
-        try:
-            return cfg.validate()
-        except ValueError as exc:
-            raise SpecError(f"invalid configuration: {exc}")
+        return resolve_system_config(mesh=self.mesh, config=self.config,
+                                     engine=self.engine, seed=self.seed)
 
     def fault_schedule(self):
         """The :class:`~repro.faults.FaultSchedule`, or ``None``."""
