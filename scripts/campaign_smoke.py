@@ -28,22 +28,27 @@ def main() -> int:
         os.environ["REPRO_NO_HISTORY"] = "1"
 
         from repro.campaign import load_campaign, run_campaign
+        from repro.sweep.runtime import WorkerRuntime
 
         campaign = load_campaign(ROOT / "campaigns" / "smoke.json")
         expansion = campaign.expand()
         print(f"campaign {campaign.name!r}: {len(expansion.points)} "
               f"point(s), fingerprint {expansion.fingerprint}")
 
-        cold = run_campaign(campaign, expansion, jobs=1)
-        print(f"cold: {cold.summary()}")
-        bad = [o for o in cold.outcomes if o.source not in ("run",
-                                                            "retry")]
-        if cold.failures or bad:
-            print("error: cold pass should simulate every point",
-                  file=sys.stderr)
-            return 1
+        # One injected runtime across both passes: multi-campaign
+        # drivers pay pool/memo startup once (docs/architecture.md §15).
+        with WorkerRuntime(jobs=1) as rt:
+            cold = run_campaign(campaign, expansion, jobs=1, runtime=rt)
+            print(f"cold: {cold.summary()}")
+            bad = [o for o in cold.outcomes if o.source not in ("run",
+                                                                "retry")]
+            if cold.failures or bad:
+                print("error: cold pass should simulate every point",
+                      file=sys.stderr)
+                return 1
 
-        warm = run_campaign(campaign, campaign.expand(), jobs=1)
+            warm = run_campaign(campaign, campaign.expand(), jobs=1,
+                                runtime=rt)
         print(f"warm: {warm.summary()}")
         misses = [o for o in warm.outcomes if o.source != "cache"]
         if warm.failures or misses:

@@ -141,6 +141,109 @@ def bench_points(
     }
 
 
+def bench_warm_sweep(
+    engine: str,
+    designs: Sequence[str] = ("C", "O"),
+    workloads: Sequence[str] = ("pr", "knn"),
+    config: Optional[SystemConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Time one uncached sweep three ways: legacy cold fork-per-point,
+    a fresh :class:`~repro.sweep.runtime.WorkerRuntime` (first pass —
+    memos filling), and the same runtime again (steady state — memos
+    hot).
+
+    Unlike :func:`bench_points` the workloads are *not* pre-shared:
+    amortizing workload generation and derived-table construction
+    across points is exactly what the warm runtime claims to do, so it
+    stays inside the timed region.  All three passes must agree
+    bit-for-bit (``identical``) — a disagreement means the memo layer
+    broke determinism and the record should never be committed.
+    """
+    from repro.sweep.runner import SweepPoint, SweepRunner
+    from repro.sweep.runtime import WorkerRuntime
+    from repro.sweep.serialize import result_to_dict
+
+    cfg = engine_config(engine, config)
+    points = [
+        SweepPoint(design=d, workload=w, config=cfg, label=f"{d}/{w}")
+        for w in workloads
+        for d in designs
+    ]
+
+    def one_pass(runtime, label: str):
+        t0 = time.perf_counter()
+        report = SweepRunner(cache=False, jobs=1,
+                             runtime=runtime).run(points)
+        dt = time.perf_counter() - t0
+        if report.failures:
+            raise RuntimeError(
+                f"warm-sweep bench pass {label!r} failed: "
+                f"{report.failures[0].error}")
+        blobs = [
+            json.dumps(result_to_dict(o.result), sort_keys=True)
+            for o in report.outcomes
+        ]
+        if progress:
+            progress(f"warm-sweep {label:22} {dt:7.2f}s "
+                     f"({len(points)} points)")
+        return dt, blobs
+
+    cold_s, cold_blobs = one_pass(False, "cold fork-per-point")
+    with WorkerRuntime(jobs=1) as rt:
+        first_s, first_blobs = one_pass(rt, "warm runtime pass 1")
+        steady_s, steady_blobs = one_pass(rt, "warm runtime pass 2")
+    return {
+        "engine": engine,
+        "designs": list(designs),
+        "workloads": list(workloads),
+        "mesh": f"{cfg.topology.mesh_rows}x{cfg.topology.mesh_cols}",
+        "points": len(points),
+        "cold_fork_s": round(cold_s, 4),
+        "warm_first_s": round(first_s, 4),
+        "warm_steady_s": round(steady_s, 4),
+        "speedup_first": round(cold_s / first_s, 3) if first_s else 0.0,
+        "speedup_steady": round(cold_s / steady_s, 3)
+        if steady_s else 0.0,
+        "identical": cold_blobs == first_blobs == steady_blobs,
+    }
+
+
+def bench_mesh_point(
+    engine: str,
+    mesh: str = "8x8",
+    design: str = "O",
+    workload: str = "pr",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Time one live point on a scaled mesh (the trajectory's first
+    8x8 record — ROADMAP's larger-mesh validation item)."""
+    from repro.simulate import simulate
+    from repro.workloads.base import make_workload
+
+    rows, cols = (int(v) for v in mesh.lower().split("x"))
+    cfg = engine_config(engine, experiment_config().scaled(rows, cols))
+    wl = make_workload(workload)
+    w0 = time.perf_counter()
+    c0 = time.process_time()
+    result = simulate(design, wl, config=cfg)
+    cpu = time.process_time() - c0
+    wall = time.perf_counter() - w0
+    if progress:
+        progress(f"{design:3} {workload:8} mesh={mesh} {wall:7.2f}s")
+    return {
+        "engine": engine,
+        "mesh": mesh,
+        "design": design,
+        "workload": workload,
+        "wall_s": round(wall, 4),
+        "cpu_s": round(cpu, 4),
+        "tasks": int(result.tasks_executed),
+        "accesses": _accesses(result),
+        "makespan_cycles": result.makespan_cycles,
+    }
+
+
 def next_bench_path(root: Path) -> Path:
     """First unused ``BENCH_<n>.json`` path under ``root`` (created
     on demand, so ``repro bench --out DIR`` works on a fresh DIR)."""

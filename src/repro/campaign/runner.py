@@ -177,8 +177,15 @@ def run_campaign(
     jobs: Optional[int] = None,
     progress=None,
     events=None,
+    runtime: Any = None,
 ) -> CampaignReport:
-    """Run an expanded campaign locally via :class:`SweepRunner`."""
+    """Run an expanded campaign locally via :class:`SweepRunner`.
+
+    ``runtime`` follows the runner's semantics: ``None`` gives this
+    campaign its own warm :class:`~repro.sweep.runtime.WorkerRuntime`,
+    an instance shares one across campaigns (multi-campaign drivers pay
+    pool startup once), ``False`` forces the legacy cold path.
+    """
     from repro.sweep.runner import SweepPoint, SweepRunner
 
     report = _report_skeleton(campaign, expansion)
@@ -193,7 +200,7 @@ def run_campaign(
             fault_schedule=spec.fault_schedule(),
         ))
     runner = SweepRunner(cache=cache, jobs=jobs, progress=progress,
-                         events=events)
+                         events=events, runtime=runtime)
     sweep = runner.run(sweep_points)
     report.elapsed_s = sweep.elapsed_s
     for point, outcome in zip(expansion.points, sweep.outcomes):

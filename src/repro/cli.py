@@ -693,7 +693,13 @@ def cmd_bench(args) -> int:
     one small point (CI's perf gate)."""
     from pathlib import Path
 
-    from repro.bench import bench_points, next_bench_path, write_bench
+    from repro.bench import (
+        bench_mesh_point,
+        bench_points,
+        bench_warm_sweep,
+        next_bench_path,
+        write_bench,
+    )
 
     if args.smoke:
         return _bench_smoke()
@@ -705,6 +711,19 @@ def cmd_bench(args) -> int:
         args.engine, designs, workloads, config=_config_from_args(args),
         repeats=args.repeats, progress=log.info,
     )
+    if args.warm:
+        # warm-runtime trajectory + the first large-mesh point
+        # (docs/performance.md): cold fork-per-point vs a warm
+        # WorkerRuntime filling then steady, plus one live 8x8 run.
+        payload["warm_runtime"] = bench_warm_sweep(
+            args.engine, config=_config_from_args(args),
+            progress=log.info)
+        payload["mesh_scaling"] = bench_mesh_point(
+            args.engine, mesh="8x8", progress=log.info)
+        if not payload["warm_runtime"]["identical"]:
+            print("error: warm-runtime passes were not bit-identical "
+                  "to the cold sweep — refusing to record", file=sys.stderr)
+            return 1
     if args.output:
         out = Path(args.output)
     else:
@@ -783,6 +802,54 @@ def _bench_smoke() -> int:
     if best["vector"] > best["batched"]:
         print("error: vector engine slower than batched on the smoke "
               "point", file=sys.stderr)
+        return 1
+    return _bench_smoke_warm_race(base)
+
+
+def _bench_smoke_warm_race(base) -> int:
+    """Race the legacy cold sweep path against the warm runtime on one
+    uncached point (best of two passes each; the warm second pass runs
+    memo-hot).  Fails on a result mismatch — the warm runtime's hard
+    bit-identity contract — or on the warm path losing the race."""
+    import time
+
+    from repro.bench import engine_config
+    from repro.sweep.runner import SweepPoint, SweepRunner
+    from repro.sweep.runtime import WorkerRuntime
+    from repro.sweep.serialize import result_to_dict
+
+    cfg = engine_config("batched", base)
+    points = [SweepPoint(design="O", workload="pr", config=cfg,
+                         label="O/pr")]
+
+    def best_of(runtime, passes: int = 2):
+        best, blob = float("inf"), None
+        for _ in range(passes):
+            t0 = time.perf_counter()
+            report = SweepRunner(cache=False, jobs=1,
+                                 runtime=runtime).run(points)
+            dt = time.perf_counter() - t0
+            if report.failures:
+                raise RuntimeError(report.failures[0].error)
+            best = min(best, dt)
+            blob = _json.dumps(result_to_dict(report.outcomes[0].result),
+                               sort_keys=True)
+        return best, blob
+
+    cold_s, cold_blob = best_of(False)
+    with WorkerRuntime(jobs=1) as rt:
+        warm_s, warm_blob = best_of(rt)
+    identical = warm_blob == cold_blob
+    print(f"bench smoke warm race O/pr: cold={cold_s:.2f}s "
+          f"warm={warm_s:.2f}s "
+          f"({'identical' if identical else 'DIFFER'})")
+    if not identical:
+        print("error: warm runtime result differs from the cold path",
+              file=sys.stderr)
+        return 1
+    if warm_s > cold_s:
+        print("error: warm runtime slower than the cold path on the "
+              "smoke point", file=sys.stderr)
         return 1
     return 0
 
@@ -1123,7 +1190,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run one small point under all three "
                               "engines; fail on a scalar/batched result "
                               "mismatch, an out-of-band vector result, "
-                              "or an engine-tier slowdown")
+                              "an engine-tier slowdown, or a warm-"
+                              "runtime mismatch/slowdown")
+    p_bench.add_argument("--warm", action="store_true",
+                         help="additionally record the warm-runtime "
+                              "trajectory (cold fork vs WorkerRuntime "
+                              "filling/steady) and one 8x8 mesh point")
     add_config(p_bench)
     add_verbosity(p_bench)
 

@@ -65,6 +65,7 @@ def run_fault_campaign(
     jobs: Optional[int] = None,
     progress=None,
     events=None,
+    runtime=None,
 ) -> CampaignResult:
     """Run ``workload`` on ``design`` healthy and under each schedule.
 
@@ -100,7 +101,7 @@ def run_fault_campaign(
     )
 
     runner = SweepRunner(cache=cache, jobs=jobs, progress=progress,
-                         events=events)
+                         events=events, runtime=runtime)
     report = runner.run(points)
 
     healthy_outcome = report.outcomes[0]

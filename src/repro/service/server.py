@@ -173,8 +173,15 @@ class ExperimentServer:
                 self._executor = ThreadPoolExecutor(
                     max_workers=4, thread_name_prefix="repro-job")
             else:
+                # warm pool: workers enable the per-process memo caches
+                # once and keep them for their lifetime, so repeat jobs
+                # skip workload generation and table construction
+                # (docs/architecture.md §15).
+                from repro.sweep.runtime import _worker_init
+
                 self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers)
+                    max_workers=self.workers,
+                    initializer=_worker_init)
         return self._executor
 
     async def serve(self, ready: Optional[threading.Event] = None) -> None:

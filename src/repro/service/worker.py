@@ -77,11 +77,14 @@ def run_job(payload: JobPayload) -> Tuple[str, Optional[Dict],
     t0 = time.time()
     try:
         from repro.sweep.runner import _live_simulate
+        from repro.sweep.runtime import resolve_workload_spec
         from repro.sweep.serialize import result_to_dict
-        from repro.workloads.base import make_workload
 
         record_execution(exec_log, key)
-        workload = make_workload(wl_spec[1], **wl_spec[2])
+        # In a warm pool worker this memoizes the materialized workload
+        # per process; cold (threads / no initializer) it is exactly
+        # ``make_workload(name, **kwargs)``.
+        workload = resolve_workload_spec(wl_spec)
         schedule = None
         if faults is not None:
             from repro.faults.schedule import FaultSchedule

@@ -9,7 +9,10 @@ in the repo (``scripts/matrix.py``, ``benchmarks/common.py``):
   ``.repro_cache/`` with hit/miss/invalidation accounting;
 * :mod:`repro.sweep.serialize` — exact RunResult round-tripping;
 * :mod:`repro.sweep.runner` — cached single-point runs and the
-  multiprocessing grid runner with per-point failure capture.
+  multiprocessing grid runner with per-point failure capture;
+* :mod:`repro.sweep.runtime` — the warm worker runtime: persistent
+  pools, per-process memo caches, the shared-memory workload store
+  and history-informed LPT point ordering.
 
 See ``docs/experiments.md`` for the end-to-end workflow.
 
@@ -49,6 +52,15 @@ from repro.sweep.runner import (
     run_matrix,
     run_point,
 )
+from repro.sweep.runtime import (
+    ProcessMemos,
+    SharedWorkloadStore,
+    WorkerRuntime,
+    active_memos,
+    lpt_order,
+    process_memos,
+    warm_memos,
+)
 from repro.sweep.serialize import result_from_dict, result_to_dict
 
 __all__ = [
@@ -69,6 +81,13 @@ __all__ = [
     "matrix_points",
     "run_matrix",
     "run_point",
+    "ProcessMemos",
+    "SharedWorkloadStore",
+    "WorkerRuntime",
+    "active_memos",
+    "lpt_order",
+    "process_memos",
+    "warm_memos",
     "result_from_dict",
     "result_to_dict",
 ]

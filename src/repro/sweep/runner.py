@@ -23,6 +23,7 @@ stores.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
@@ -35,11 +36,21 @@ from repro.config import SystemConfig, engine_tier, experiment_config
 from repro.observatory.progress import EventFn, ProgressEvent
 from repro.sweep.cache import ResultCache, resolve_cache
 from repro.sweep.keys import UncacheableError, run_key
+from repro.sweep.runtime import (
+    WorkerRuntime,
+    _warm_worker,
+    lpt_order,
+    materialize_point,
+)
 from repro.sweep.serialize import result_from_dict, result_to_dict
 from repro.workloads.base import Workload, make_workload
 
 ProgressFn = Callable[[str], None]
 CacheLike = Union[ResultCache, bool, str, None]
+#: ``None`` = a private WorkerRuntime per run (warm, torn down after);
+#: ``False`` = the legacy cold fork-per-point path; a WorkerRuntime =
+#: shared across calls, never closed by the runner.
+RuntimeLike = Union[WorkerRuntime, bool, None]
 
 
 def _record_history(result: RunResult, workload, config,
@@ -280,6 +291,16 @@ class SweepRunner:
     (begin / started / cached / done / retried / failed / end) — the
     feed behind the live TTY status line and ``--progress-jsonl``.
     A consumer that raises is disabled, never fatal.
+
+    ``runtime`` selects the execution context (see
+    :mod:`repro.sweep.runtime`): the default ``None`` builds a private
+    warm :class:`~repro.sweep.runtime.WorkerRuntime` for the run
+    (persistent pool, per-process memo caches, shared-memory workload
+    store, history-informed LPT dispatch — all bit-identical to cold
+    execution) and closes it afterwards; an injected runtime is shared
+    across calls and left open, so multi-sweep drivers stop paying
+    pool startup and memo warmup per sweep; ``runtime=False`` forces
+    the legacy cold fork-per-point path.
     """
 
     def __init__(
@@ -289,12 +310,22 @@ class SweepRunner:
         retries: int = 1,
         progress: Optional[ProgressFn] = None,
         events: Optional[EventFn] = None,
+        runtime: RuntimeLike = None,
     ):
         self.cache = resolve_cache(cache)
         self.jobs = jobs
         self.retries = retries
         self.progress = progress
         self.events = events
+        self.runtime = runtime
+
+    def _resolve_runtime(self) -> Tuple[Optional[WorkerRuntime], bool]:
+        """(runtime, owned) for one run — see :data:`RuntimeLike`."""
+        if self.runtime is None:
+            return WorkerRuntime(jobs=self.jobs), True
+        if self.runtime is False:
+            return None, False
+        return self.runtime, False
 
     # ------------------------------------------------------------------
     def _say(self, msg: str) -> None:
@@ -310,14 +341,17 @@ class SweepRunner:
             self.events = None  # a broken consumer never fails the sweep
 
     def _run_serial_once(self, point: SweepPoint) -> RunResult:
+        # materialize_point memoizes inside a warm scope and is exactly
+        # point.materialize() in a cold one.
         if point.fault_schedule:
             return _live_simulate(
-                point.design, point.materialize(), point.resolved_config(),
+                point.design, materialize_point(point),
+                point.resolved_config(),
                 fault_schedule=point.fault_schedule,
             )
         # positional-only call keeps older _live_simulate stubs working
         return _live_simulate(
-            point.design, point.materialize(), point.resolved_config()
+            point.design, materialize_point(point), point.resolved_config()
         )
 
     def _retry(self, outcome: PointOutcome, done: int, total: int) -> None:
@@ -379,67 +413,103 @@ class SweepRunner:
             else:
                 pending.append(i)
 
-        # 2. simulate the misses (parallel when it pays)
+        # 2. simulate the misses (parallel when it pays).  A warm
+        # runtime (the default) adds per-process memo caches, the
+        # shared workload store, a persistent pool, and LPT dispatch
+        # ordering — all result-neutral; ``runtime=False`` keeps the
+        # legacy cold fork-per-point path bit for bit.
         jobs = self.jobs if self.jobs is not None else os.cpu_count() or 1
         jobs = max(1, min(jobs, len(pending)))
-        if jobs <= 1:
-            for i in pending:
-                outcome = outcomes[i]
-                self._emit(event="started", label=points[i].label,
-                           index=i, done=done, total=total)
-                t0 = time.time()
-                try:
-                    outcome.result = self._run_serial_once(points[i])
-                    outcome.source = "run"
-                    outcome.elapsed_s = time.time() - t0
-                    done += 1
-                    self._say(
-                        f"[{done}/{total}] {points[i].label:16} "
-                        f"ran {outcome.elapsed_s:.1f}s"
-                    )
-                    self._emit(event="done", label=points[i].label,
-                               index=i, done=done, total=total,
-                               source="run", elapsed_s=outcome.elapsed_s)
-                except BaseException:
-                    outcome.error = traceback.format_exc()
-                    done += 1
-                    self._say(
-                        f"[{done}/{total}] {points[i].label:16} crashed, "
-                        f"retrying"
-                    )
-                    self._retry(outcome, done, total)
-        elif pending:
-            payloads = [_worker_payload(i, points[i]) for i in pending]
-            for i in pending:
-                self._emit(event="started", label=points[i].label,
-                           index=i, done=done, total=total)
-            failed: List[int] = []
-            with multiprocessing.Pool(processes=jobs) as pool:
-                for idx, rdict, err, dt in pool.imap_unordered(
-                    _worker, payloads
-                ):
-                    outcome = outcomes[idx]
-                    outcome.elapsed_s = dt
-                    done += 1
-                    if rdict is not None:
-                        outcome.result = result_from_dict(rdict)
-                        outcome.source = "run"
-                        self._say(
-                            f"[{done}/{total}] {points[idx].label:16} "
-                            f"ran {dt:.1f}s"
-                        )
-                        self._emit(event="done", label=points[idx].label,
-                                   index=idx, done=done, total=total,
-                                   source="run", elapsed_s=dt)
+        runtime, owns_runtime = self._resolve_runtime()
+        try:
+            if jobs <= 1:
+                scope = runtime.activate() if runtime is not None \
+                    else contextlib.nullcontext()
+                with scope:
+                    for i in pending:
+                        outcome = outcomes[i]
+                        self._emit(event="started", label=points[i].label,
+                                   index=i, done=done, total=total)
+                        t0 = time.time()
+                        try:
+                            outcome.result = self._run_serial_once(points[i])
+                            outcome.source = "run"
+                            outcome.elapsed_s = time.time() - t0
+                            done += 1
+                            self._say(
+                                f"[{done}/{total}] {points[i].label:16} "
+                                f"ran {outcome.elapsed_s:.1f}s"
+                            )
+                            self._emit(event="done", label=points[i].label,
+                                       index=i, done=done, total=total,
+                                       source="run",
+                                       elapsed_s=outcome.elapsed_s)
+                        except BaseException:
+                            outcome.error = traceback.format_exc()
+                            done += 1
+                            self._say(
+                                f"[{done}/{total}] {points[i].label:16} "
+                                f"crashed, retrying"
+                            )
+                            self._retry(outcome, done, total)
+            elif pending:
+                order = pending
+                if runtime is not None:
+                    # History-informed LPT: dispatch predicted-slowest
+                    # points first so the pool tail shrinks.  Dispatch
+                    # order only — outcomes stay input-indexed.
+                    by_lpt = lpt_order([points[i] for i in pending])
+                    order = [pending[j] for j in by_lpt]
+                for i in pending:
+                    self._emit(event="started", label=points[i].label,
+                               index=i, done=done, total=total)
+                failed: List[int] = []
+                with contextlib.ExitStack() as stack:
+                    if runtime is not None:
+                        with runtime.activate():
+                            payloads = [
+                                runtime.worker_payload(i, points[i])
+                                for i in order
+                            ]
+                        pool = runtime.pool(jobs)
+                        work = _warm_worker
                     else:
-                        outcome.error = err
-                        failed.append(idx)
-                        self._say(
-                            f"[{done}/{total}] {points[idx].label:16} "
-                            f"crashed, will retry"
+                        payloads = [
+                            _worker_payload(i, points[i]) for i in order
+                        ]
+                        pool = stack.enter_context(
+                            multiprocessing.Pool(processes=jobs)
                         )
-            for idx in failed:
-                self._retry(outcomes[idx], done, total)
+                        work = _worker
+                    for idx, rdict, err, dt in pool.imap_unordered(
+                        work, payloads
+                    ):
+                        outcome = outcomes[idx]
+                        outcome.elapsed_s = dt
+                        done += 1
+                        if rdict is not None:
+                            outcome.result = result_from_dict(rdict)
+                            outcome.source = "run"
+                            self._say(
+                                f"[{done}/{total}] {points[idx].label:16} "
+                                f"ran {dt:.1f}s"
+                            )
+                            self._emit(event="done",
+                                       label=points[idx].label,
+                                       index=idx, done=done, total=total,
+                                       source="run", elapsed_s=dt)
+                        else:
+                            outcome.error = err
+                            failed.append(idx)
+                            self._say(
+                                f"[{done}/{total}] {points[idx].label:16} "
+                                f"crashed, will retry"
+                            )
+                for idx in failed:
+                    self._retry(outcomes[idx], done, total)
+        finally:
+            if owns_runtime and runtime is not None:
+                runtime.close()
 
         # 3. feed the cache (exact-tier runs only: vector results are
         # statistical and must never serve a later exact-tier hit)
@@ -509,8 +579,13 @@ def run_matrix(
     jobs: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     events: Optional[EventFn] = None,
+    runtime: RuntimeLike = None,
 ) -> SweepReport:
-    """Run the full design/workload matrix, parallel and cached."""
+    """Run the full design/workload matrix, parallel and cached.
+
+    Pass a shared :class:`~repro.sweep.runtime.WorkerRuntime` to keep
+    its worker pool and memo caches warm across several matrices.
+    """
     runner = SweepRunner(cache=cache, jobs=jobs, progress=progress,
-                         events=events)
+                         events=events, runtime=runtime)
     return runner.run(matrix_points(designs, workloads, config))

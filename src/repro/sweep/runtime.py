@@ -1,0 +1,710 @@
+"""The warm worker runtime: persistent pools and cross-point memos.
+
+A cold sweep pays the same fixed costs at every point: workloads are
+re-materialized from their factory specs, topology objects and NoC
+fast tables are rebuilt, camp-location tables are re-primed line by
+line — even though most points of the 48-cell matrix share all of
+them.  This module makes the 2nd..Nth points skip that work without
+changing a single simulated value:
+
+* :class:`ProcessMemos` — per-process memo caches for materialized
+  workloads (keyed by the existing ``workload_token``), shared
+  :class:`~repro.arch.topology.Topology` instances, healthy-mesh NoC
+  fast tables, camp home/nearest tables, and vector-engine columnar
+  tables.  Every memoized value is a pure function of the config and
+  the workload spec (no RNG or clock state), so warm results are
+  bit-identical to cold ones; anything touched by a fault epoch is
+  never donated back.
+* :class:`SharedWorkloadStore` — parent-side
+  ``multiprocessing.shared_memory`` segments holding each workload's
+  pickle exactly once; workers attach zero-copy instead of receiving
+  a fresh pickle per point.
+* :class:`WorkerRuntime` — a reusable handle bundling a persistent
+  worker pool (initialized warm) with the shared store, injectable
+  into :class:`~repro.sweep.runner.SweepRunner`, ``run_matrix``,
+  :func:`~repro.campaign.runner.run_campaign` and the experiment
+  server so multi-sweep drivers stop paying pool startup per sweep.
+* :func:`lpt_order` — history-ledger-informed longest-processing-time
+  point ordering (predicted-slowest first), shrinking pool tail
+  latency on the dispatch side.
+
+The memos are *opt-in by scope*: nothing in the simulator consults
+them unless the process is inside an enabled scope (a worker of a
+:class:`WorkerRuntime` pool, or a ``with runtime.activate():`` block
+in the parent).  A cold build — the default for direct
+:func:`repro.simulate.simulate` calls and for every existing test —
+is byte-for-byte the pre-runtime code path.
+
+See docs/architecture.md §15 for the memo keys, the shared-memory
+lifecycle and the invalidation rules.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.keys import (
+    UncacheableError,
+    canonicalize,
+    stable_hash,
+    workload_token,
+)
+from repro.workloads.base import make_workload
+
+#: name prefix of every shared-memory segment this runtime creates;
+#: the CI leak check greps /dev/shm for it after the test suite.
+SHM_PREFIX = "repro_wl_"
+
+#: memo capacity bounds — generous for real sweeps (8 workloads, a
+#: handful of mesh sizes) while keeping a pathological driver from
+#: growing worker memory without bound.
+MAX_WORKLOAD_MEMOS = 16
+MAX_VECTOR_TABLE_MEMOS = 32
+MAX_SHM_SEGMENTS = 32
+#: camp tables beyond this many memoized lines are not harvested (the
+#: per-line tables are the largest memo class by far).
+MAX_CAMP_LINES = 200_000
+
+
+# ----------------------------------------------------------------------
+# per-process memo caches
+# ----------------------------------------------------------------------
+@dataclass
+class MemoStats:
+    """Hit/miss counters of one process's memo caches (observability
+    only — never consulted by the simulation)."""
+
+    workload_hits: int = 0
+    workload_misses: int = 0
+    topology_hits: int = 0
+    topology_misses: int = 0
+    noc_hits: int = 0
+    camp_seeds: int = 0
+    camp_harvests: int = 0
+    line_seeds: int = 0
+    line_harvests: int = 0
+    vector_hits: int = 0
+    vector_donations: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"workloads {self.workload_hits}h/{self.workload_misses}m, "
+            f"topology {self.topology_hits}h/{self.topology_misses}m, "
+            f"noc {self.noc_hits}h, camp {self.camp_seeds}s/"
+            f"{self.camp_harvests}w, lines {self.line_seeds}s/"
+            f"{self.line_harvests}w, vector {self.vector_hits}h"
+        )
+
+
+class ProcessMemos:
+    """Cross-point memo caches held by one (worker or parent) process.
+
+    Every entry is deterministic derived data:
+
+    * ``workloads`` — materialized workload instances keyed by the
+      stable hash of their :func:`~repro.sweep.keys.workload_token`
+      (the exact identity run keys use).  Workload generation is
+      seeded from the factory kwargs alone, so the same token always
+      materializes the same object.
+    * ``topologies`` — immutable :class:`~repro.arch.topology.Topology`
+      instances keyed by (topology-config fields, num_groups).
+    * ``noc_tables`` — the healthy-mesh ``fast_tables``/``fast_arrays``
+      pair keyed by (topology key, inter/intra hop latency).  Only
+      harvested and only seeded at ``fault_epoch == 0``; a fault
+      transition nulls the interconnect's own copy and bumps the
+      epoch, so faulted tables can never be donated.
+    * ``camp_tables`` — ``(loc_cache, nearest_cache)`` dict pairs
+      keyed by the machine key (topology+memory+cache+noc sections).
+      Seeded as shallow copies into a fresh mapper; harvested back
+      only from mappers that stayed at ``epoch == 0`` (never cleared,
+      no alive-mask) on a fault-free interconnect.
+    * ``line_memos`` — the memory system's per-line
+      ``(home, nearest, is_home)`` memo (the batched read path's
+      flattened tables), keyed like ``camp_tables`` and guarded by the
+      same epoch rules plus the memory system's own memo-epoch tuple.
+    * ``vector_tables`` — the vector phase engine's per-line columnar
+      tables keyed by (machine key, unique-lines digest).
+    """
+
+    def __init__(self) -> None:
+        self.workloads: "OrderedDict[str, Any]" = OrderedDict()
+        self.topologies: Dict[Tuple, Any] = {}
+        self.noc_tables: Dict[Tuple, Tuple[Any, Any]] = {}
+        self.camp_tables: Dict[str, Tuple[dict, dict]] = {}
+        self.line_memos: Dict[str, dict] = {}
+        self.vector_tables: "OrderedDict[Tuple[str, str], Tuple]" = \
+            OrderedDict()
+        self.stats = MemoStats()
+        #: machine-key memo keyed on id() of a config (configs are
+        #: frozen; id reuse after GC only costs a recompute).
+        self._machine_keys: Dict[int, Tuple[Any, str]] = {}
+
+    # -- workloads -----------------------------------------------------
+    def remember_workload(self, token: str, workload: Any) -> None:
+        self.workloads[token] = workload
+        self.workloads.move_to_end(token)
+        while len(self.workloads) > MAX_WORKLOAD_MEMOS:
+            self.workloads.popitem(last=False)
+
+    def workload_from_factory(self, name: str, kwargs: Dict[str, Any]):
+        """A materialized workload for a factory spec, memoized."""
+        try:
+            token = stable_hash({"factory": name,
+                                 "kwargs": canonicalize(kwargs)})
+        except UncacheableError:
+            self.stats.workload_misses += 1
+            return make_workload(name, **kwargs)
+        hit = self.workloads.get(token)
+        if hit is not None:
+            self.workloads.move_to_end(token)
+            self.stats.workload_hits += 1
+            return hit
+        workload = make_workload(name, **kwargs)
+        self.remember_workload(token, workload)
+        self.stats.workload_misses += 1
+        return workload
+
+    # -- machine keys --------------------------------------------------
+    def machine_key(self, config) -> str:
+        """Stable digest of the config sections the machine-shape
+        memos depend on (topology, memory, cache, noc) — scheduler
+        policy and core parameters deliberately excluded, so e.g. the
+        C and O design points share camp tables."""
+        hit = self._machine_keys.get(id(config))
+        if hit is not None and hit[0] is config:
+            return hit[1]
+        sections = config.canonical_dict()
+        key = stable_hash({
+            name: sections.get(name)
+            for name in ("topology", "memory", "cache", "noc")
+        })
+        self._machine_keys[id(config)] = (config, key)
+        return key
+
+    @staticmethod
+    def _topology_key(topo_config, num_groups: int) -> Tuple:
+        import dataclasses
+
+        return (dataclasses.astuple(topo_config), int(num_groups))
+
+    def topology_for(self, topo_config, num_groups: int):
+        """A shared immutable Topology for (config, groups)."""
+        from repro.arch.topology import Topology
+
+        key = self._topology_key(topo_config, num_groups)
+        hit = self.topologies.get(key)
+        if hit is not None:
+            self.stats.topology_hits += 1
+            return hit
+        topo = Topology(topo_config, num_groups=num_groups)
+        self.topologies[key] = topo
+        self.stats.topology_misses += 1
+        return topo
+
+    def _noc_key(self, system) -> Tuple:
+        topo = system.config.topology
+        noc = system.config.noc
+        return (
+            self._topology_key(topo, system.topology.num_groups),
+            float(noc.inter_hop_ns),
+            float(noc.intra_hop_ns),
+        )
+
+    # -- attach / harvest ----------------------------------------------
+    def attach(self, system) -> None:
+        """Seed a freshly built machine from the memos (bit-identical:
+        every seeded value is exactly what the run would compute)."""
+        icn = system.interconnect
+        if icn.fault_epoch == 0 and icn._fast_tables is None:
+            hit = self.noc_tables.get(self._noc_key(system))
+            if hit is not None:
+                icn._fast_tables, icn._fast_arrays = hit
+                self.stats.noc_hits += 1
+        mapper = system.camp_mapper
+        if (mapper is not None and mapper.epoch == 0
+                and not system.telemetry.enabled):
+            # telemetry runs stay cold: the camp.memo_lines gauge
+            # reports the memo footprint, which seeding would inflate.
+            hit = self.camp_tables.get(self.machine_key(system.config))
+            if hit is not None:
+                mapper._loc_cache = dict(hit[0])
+                mapper._nearest_cache = dict(hit[1])
+                self.stats.camp_seeds += 1
+        ms = system.memory_system
+        if (icn.fault_epoch == 0 and not system.telemetry.enabled
+                and ms._engine in ("batched", "vector")
+                and (mapper is None or mapper.epoch == 0)
+                and not ms._line_memo):
+            hit = self.line_memos.get(self.machine_key(system.config))
+            if hit is not None:
+                ms._line_memo = dict(hit)
+                # pin the memo epoch the batched path would compute, or
+                # its first access clears the seed as "stale".
+                ms._memo_epoch = (
+                    mapper.epoch if mapper is not None else -1,
+                    icn.fault_epoch,
+                )
+                self.stats.line_seeds += 1
+
+    def harvest(self, system) -> None:
+        """Donate a finished machine's derived tables back to the
+        memos.  Anything a fault epoch ever touched is skipped — the
+        interconnect nulls its tables and the mapper bumps its epoch
+        on every fault transition, so this check is airtight."""
+        icn = system.interconnect
+        if icn.fault_epoch == 0 and icn._fast_tables is not None:
+            self.noc_tables.setdefault(
+                self._noc_key(system),
+                (icn._fast_tables, icn._fast_arrays),
+            )
+        mapper = system.camp_mapper
+        if (mapper is not None and mapper.epoch == 0
+                and mapper._alive is None and icn.fault_epoch == 0
+                and not system.telemetry.enabled
+                and len(mapper._nearest_cache) <= MAX_CAMP_LINES):
+            self.camp_tables[self.machine_key(system.config)] = (
+                mapper._loc_cache, mapper._nearest_cache,
+            )
+            self.stats.camp_harvests += 1
+        ms = system.memory_system
+        if (icn.fault_epoch == 0 and not system.telemetry.enabled
+                and (mapper is None
+                     or (mapper.epoch == 0 and mapper._alive is None))
+                and ms._memo_epoch == (
+                    mapper.epoch if mapper is not None else -1, 0)
+                and 0 < len(ms._line_memo) <= MAX_CAMP_LINES):
+            self.line_memos[self.machine_key(system.config)] = \
+                ms._line_memo
+            self.stats.line_harvests += 1
+
+    # -- vector-engine tables ------------------------------------------
+    def vector_tables_get(self, key: Tuple[str, str]):
+        hit = self.vector_tables.get(key)
+        if hit is not None:
+            self.vector_tables.move_to_end(key)
+            self.stats.vector_hits += 1
+        return hit
+
+    def vector_tables_put(self, key: Tuple[str, str], tables) -> None:
+        self.vector_tables[key] = tables
+        self.vector_tables.move_to_end(key)
+        self.stats.vector_donations += 1
+        while len(self.vector_tables) > MAX_VECTOR_TABLE_MEMOS:
+            self.vector_tables.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# warm scope: the memos are inert unless a scope enables them
+# ----------------------------------------------------------------------
+_MEMOS: Optional[ProcessMemos] = None
+_SCOPE_DEPTH = 0
+
+
+def process_memos() -> ProcessMemos:
+    """This process's memo caches (created on first use).  The data
+    outlives scopes — re-entering a warm scope resumes warm."""
+    global _MEMOS
+    if _MEMOS is None:
+        _MEMOS = ProcessMemos()
+    return _MEMOS
+
+
+def active_memos() -> Optional[ProcessMemos]:
+    """The memos, or None when this process is in a cold scope.
+    Every simulator hook goes through this gate, so cold behaviour is
+    exactly the pre-runtime code path."""
+    return _MEMOS if _SCOPE_DEPTH > 0 else None
+
+
+def enable_memos() -> ProcessMemos:
+    global _SCOPE_DEPTH
+    _SCOPE_DEPTH += 1
+    return process_memos()
+
+
+def disable_memos() -> None:
+    global _SCOPE_DEPTH
+    _SCOPE_DEPTH = max(0, _SCOPE_DEPTH - 1)
+
+
+@contextlib.contextmanager
+def warm_memos():
+    """``with warm_memos():`` — a warm scope for in-process callers."""
+    enable_memos()
+    try:
+        yield process_memos()
+    finally:
+        disable_memos()
+
+
+def _worker_init() -> None:
+    """Pool initializer: workers run warm for their whole life."""
+    enable_memos()
+
+
+# ----------------------------------------------------------------------
+# shared-memory workload store
+# ----------------------------------------------------------------------
+def _unregister_segment(shm) -> None:
+    """Detach a worker-side attach from the resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the process's
+    resource tracker, which would *unlink* it when the worker exits —
+    destroying the parent's segment mid-sweep.  The parent owns the
+    lifecycle (create / unlink); attachers must only close.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass  # tracker variants differ across platforms; best-effort
+
+
+def _load_shm_workload(name: str, size: int):
+    """Attach, unpickle and detach one stored workload (worker side)."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        _unregister_segment(shm)
+        return pickle.loads(bytes(shm.buf[:size]))
+    finally:
+        shm.close()
+
+
+class SharedWorkloadStore:
+    """Parent-owned shared-memory segments of pickled workloads.
+
+    The parent materializes each unique workload once, pickles it into
+    a named ``/dev/shm`` segment (``repro_wl_<pid>_<token12>``), and
+    ships only the (name, size) descriptor in worker payloads; workers
+    attach zero-copy, unpickle once, and memoize the instance.  The
+    store is strictly best-effort: any failure (no /dev/shm, an
+    unpicklable workload, a vanished segment) falls back to the cold
+    spec.  Cleanup is the parent's job — :meth:`close` unlinks every
+    segment, an ``atexit`` hook backstops a forgotten close, and a
+    worker crash cannot leak anything because workers never create."""
+
+    def __init__(self) -> None:
+        self._segments: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._closed = False
+        atexit.register(self.close)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def descriptor(self, token: str) -> Optional[Tuple[str, int]]:
+        """(segment name, payload size) for a stored token, if any."""
+        entry = self._segments.get(token)
+        if entry is None:
+            return None
+        shm, size = entry
+        return (shm.name, size)
+
+    def put(self, token: str, workload: Any) -> Optional[Tuple[str, int]]:
+        """Store one workload; returns its descriptor or None."""
+        if self._closed:
+            return None
+        hit = self.descriptor(token)
+        if hit is not None:
+            return hit
+        from multiprocessing import shared_memory
+
+        try:
+            blob = pickle.dumps(workload, protocol=pickle.HIGHEST_PROTOCOL)
+            name = f"{SHM_PREFIX}{os.getpid():x}_{token[:12]}"
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=len(blob)
+            )
+        except Exception:
+            return None  # fall back to the cold workload spec
+        shm.buf[: len(blob)] = blob
+        self._segments[token] = (shm, len(blob))
+        while len(self._segments) > MAX_SHM_SEGMENTS:
+            _, (old, _size) = self._segments.popitem(last=False)
+            self._release(old)
+        return (shm.name, len(blob))
+
+    @staticmethod
+    def _release(shm) -> None:
+        for step in (shm.close, shm.unlink):
+            try:
+                step()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm, _size in self._segments.values():
+            self._release(shm)
+        self._segments.clear()
+        with contextlib.suppress(Exception):
+            atexit.unregister(self.close)
+
+
+# ----------------------------------------------------------------------
+# workload spec resolution (worker side)
+# ----------------------------------------------------------------------
+def resolve_workload_spec(spec: Tuple):
+    """Materialize a worker payload's workload spec.
+
+    Specs are ``("factory", name, kwargs)``, ``("object", workload)``
+    or ``("shm", token, segment, size, fallback_spec)``.  Warm scopes
+    memoize by token; cold scopes behave exactly like the original
+    per-point materialization.
+    """
+    kind = spec[0]
+    if kind == "factory":
+        memos = active_memos()
+        if memos is None:
+            return make_workload(spec[1], **spec[2])
+        return memos.workload_from_factory(spec[1], spec[2])
+    if kind == "shm":
+        _, token, name, size, fallback = spec
+        memos = active_memos()
+        if memos is not None:
+            hit = memos.workloads.get(token)
+            if hit is not None:
+                memos.workloads.move_to_end(token)
+                memos.stats.workload_hits += 1
+                return hit
+        try:
+            workload = _load_shm_workload(name, size)
+        except Exception:
+            if fallback is not None:
+                return resolve_workload_spec(fallback)
+            raise
+        if memos is not None:
+            memos.remember_workload(token, workload)
+            memos.stats.workload_misses += 1
+        return workload
+    return spec[1]  # ("object", workload)
+
+
+def materialize_point(point):
+    """A workload instance for one sweep point, memoized when warm."""
+    memos = active_memos()
+    if memos is not None and isinstance(point.workload, str):
+        return memos.workload_from_factory(
+            point.workload, point.workload_kwargs
+        )
+    return point.materialize()
+
+
+def _warm_worker(payload: Tuple) -> Tuple[int, Optional[Dict],
+                                          Optional[str], float]:
+    """Warm-pool sibling of :func:`repro.sweep.runner._worker`.
+
+    Same payload tuple, same return contract; the only differences are
+    the memoized workload resolution and that ``_live_simulate`` runs
+    inside this process's (permanently enabled) warm scope.
+    """
+    from repro.sweep import runner as _runner
+    from repro.sweep.serialize import result_to_dict
+
+    idx, design, wl_spec, config, fault_schedule = payload
+    t0 = time.time()
+    try:
+        workload = resolve_workload_spec(wl_spec)
+        result = _runner._live_simulate(
+            design, workload, config, fault_schedule=fault_schedule
+        )
+        return idx, result_to_dict(result), None, time.time() - t0
+    except BaseException:
+        return idx, None, traceback.format_exc(), time.time() - t0
+
+
+# ----------------------------------------------------------------------
+# the runtime handle
+# ----------------------------------------------------------------------
+class WorkerRuntime:
+    """A reusable warm execution context for sweeps.
+
+    Bundles three things with one lifecycle:
+
+    * a persistent ``multiprocessing.Pool`` whose workers are
+      initialized warm and keep their memos across sweeps,
+    * a :class:`SharedWorkloadStore` of parent-materialized workloads,
+    * a parent-side warm scope (:meth:`activate`) for the serial path.
+
+    Inject one runtime into several :class:`SweepRunner`\\ s /
+    ``run_campaign`` calls to amortize pool startup and memo warmup
+    across them; :meth:`close` (or the context manager) tears down the
+    pool and unlinks every shared-memory segment.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = jobs
+        self.store = SharedWorkloadStore()
+        self._pool = None
+        self._pool_width = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def pool(self, width: int):
+        """The persistent warm pool (created on first use).
+
+        The width is fixed at creation; later calls reuse the existing
+        pool even when they ask for fewer workers (idle workers cost
+        nothing and keep their memos warm).
+        """
+        if self._closed:
+            raise RuntimeError("WorkerRuntime is closed")
+        if self._pool is None:
+            self._pool_width = max(1, int(width))
+            self._pool = multiprocessing.Pool(
+                processes=self._pool_width, initializer=_worker_init
+            )
+        return self._pool
+
+    @property
+    def pool_width(self) -> int:
+        return self._pool_width
+
+    def activate(self):
+        """A parent-side warm scope (used around serial execution and
+        payload preparation)."""
+        return warm_memos()
+
+    # ------------------------------------------------------------------
+    def workload_spec(self, point) -> Tuple:
+        """The worker payload spec for one point, through the store.
+
+        Parent materializes (memoized) and stores the pickle once per
+        unique workload token; uncacheable or unstorable workloads
+        fall back to the exact cold spec.
+        """
+        if isinstance(point.workload, str):
+            base: Tuple = ("factory", point.workload,
+                           dict(point.workload_kwargs))
+        else:
+            base = ("object", point.workload)
+        try:
+            if base[0] == "factory":
+                token_src: Any = {"factory": base[1], "kwargs": base[2]}
+            else:
+                token_src = workload_token(point.workload)
+            token = stable_hash(token_src)
+        except UncacheableError:
+            return base
+        desc = self.store.descriptor(token)
+        if desc is None:
+            if base[0] == "object":
+                workload = base[1]
+            else:
+                memos = active_memos()
+                if memos is not None:
+                    workload = memos.workload_from_factory(base[1], base[2])
+                else:
+                    workload = make_workload(base[1], **base[2])
+            desc = self.store.put(token, workload)
+        if desc is None:
+            return base
+        fallback = base if base[0] == "factory" else None
+        return ("shm", token, desc[0], desc[1], fallback)
+
+    def worker_payload(self, idx: int, point) -> Tuple:
+        return (idx, point.design, self.workload_spec(point),
+                point.resolved_config(), point.fault_schedule)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the pool down and unlink every shm segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self.store.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        with contextlib.suppress(Exception):
+            self.close()
+
+
+# ----------------------------------------------------------------------
+# history-informed LPT ordering
+# ----------------------------------------------------------------------
+def predicted_wall_times(
+    points: Sequence, ledger=None,
+) -> Optional[List[float]]:
+    """Predicted per-point wall seconds from the history ledger.
+
+    Median of the newest (≤5) ``source == "simulate"`` records per
+    (design, workload, mesh); points the ledger has never seen get the
+    mean prediction.  Returns None (→ callers keep input order) when
+    history is disabled, empty or unreadable — strictly best-effort.
+    """
+    try:
+        import statistics
+
+        from repro.observatory.history import (
+            default_ledger,
+            history_enabled,
+        )
+
+        if not history_enabled():
+            return None
+        led = ledger if ledger is not None else default_ledger()
+        samples: Dict[Tuple[str, str, str], List[float]] = {}
+        for rec in led.records():
+            if rec.source != "simulate" or rec.wall_s <= 0:
+                continue
+            key = (rec.design, rec.workload, rec.mesh)
+            samples.setdefault(key, []).append(rec.wall_s)
+        if not samples:
+            return None
+        medians = {k: statistics.median(v[-5:]) for k, v in samples.items()}
+        fallback = statistics.fmean(medians.values())
+        out: List[float] = []
+        for point in points:
+            name = (
+                point.workload if isinstance(point.workload, str)
+                else getattr(point.workload, "name", "")
+            )
+            cfg = point.resolved_config()
+            mesh = f"{cfg.topology.mesh_rows}x{cfg.topology.mesh_cols}"
+            out.append(medians.get((point.design, name, mesh), fallback))
+        return out
+    except Exception:
+        return None
+
+
+def lpt_order(points: Sequence, ledger=None) -> List[int]:
+    """Indices of ``points`` in predicted-slowest-first (LPT) order.
+
+    Stable: ties and unpredicted points keep their input order, and
+    with no usable history the identity order comes back.  Dispatch
+    order only — reports stay indexed by input position, so results
+    are unaffected.
+    """
+    order = list(range(len(points)))
+    preds = predicted_wall_times(points, ledger=ledger)
+    if preds is None:
+        return order
+    return sorted(order, key=lambda i: (-preds[i], i))

@@ -51,6 +51,7 @@ def _task_astar_batch(ctx, cells) -> None:
     """Expand a batch of frontier cells against the next-round buffer."""
     st: AStarState = ctx.state
     maze = st.maze
+    move_cost = maze.move_costs()
     for cell in cells:
         g = st.g_score[cell]
         if not np.isfinite(g):
@@ -59,7 +60,7 @@ def _task_astar_batch(ctx, cells) -> None:
         if g + maze.heuristic(cell) > st.best_goal + 1e-12:
             continue
         for n in maze.neighbors(cell):
-            cand = g + float(maze.move_cost[n])
+            cand = g + move_cost[n]
             if cand >= st.next_g[n] - 1e-12:
                 continue
             st.next_g[n] = cand

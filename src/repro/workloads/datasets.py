@@ -248,23 +248,53 @@ class GridMaze:
         return divmod(cell, self.cols)
 
     def neighbors(self, cell: int) -> List[int]:
-        r, c = self.coords(cell)
-        out = []
-        if r > 0:
-            out.append(cell - self.cols)
-        if r < self.rows - 1:
-            out.append(cell + self.cols)
-        if c > 0:
-            out.append(cell - 1)
-        if c < self.cols - 1:
-            out.append(cell + 1)
-        return [n for n in out if not self.blocked[n]]
+        # Pure function of the frozen maze, called from both the hint
+        # pass and every expansion wave: memoized as one table, built
+        # lazily with exactly the scalar path's up/down/left/right
+        # order and blocked filter.
+        table = getattr(self, "_neighbor_table", None)
+        if table is None:
+            table = self._build_neighbor_table()
+            self._neighbor_table = table
+        return table[cell]
+
+    def _build_neighbor_table(self) -> List[List[int]]:
+        blocked = self.blocked
+        cols = self.cols
+        last_r, last_c = self.rows - 1, cols - 1
+        table = []
+        for cell in range(self.num_cells):
+            r, c = divmod(cell, cols)
+            out = []
+            if r > 0:
+                out.append(cell - cols)
+            if r < last_r:
+                out.append(cell + cols)
+            if c > 0:
+                out.append(cell - 1)
+            if c < last_c:
+                out.append(cell + 1)
+            table.append([n for n in out if not blocked[n]])
+        return table
 
     def heuristic(self, cell: int) -> float:
         """Admissible Manhattan-distance heuristic to the goal."""
-        r, c = self.coords(cell)
-        gr, gc = self.coords(self.goal)
-        return float(abs(r - gr) + abs(c - gc))
+        table = getattr(self, "_heuristic_table", None)
+        if table is None:
+            r, c = np.divmod(np.arange(self.num_cells), self.cols)
+            gr, gc = self.coords(self.goal)
+            table = (np.abs(r - gr) + np.abs(c - gc)).astype(float).tolist()
+            self._heuristic_table = table
+        return table[cell]
+
+    def move_costs(self) -> List[float]:
+        """``move_cost`` as a plain float list (scalar-indexing the
+        array per neighbor dominates the expansion inner loop)."""
+        table = getattr(self, "_move_cost_list", None)
+        if table is None:
+            table = self.move_cost.tolist()
+            self._move_cost_list = table
+        return table
 
 
 def grid_maze(

@@ -170,11 +170,17 @@ class KnnState:
     results: np.ndarray       # (q, k) neighbor indices
     k: int
     home_of_query: np.ndarray
+    #: memoized per-query search (set by KnnWorkload.setup; None keeps
+    #: the direct kd_search path for hand-built states).
+    search: Optional[object] = None
 
 
 def _task_knn(ctx, q: int) -> None:
     st: KnnState = ctx.state
-    idx, _, _, _ = kd_search(st.tree, st.queries[q], st.k)
+    if st.search is not None:
+        idx = st.search(q)[0]
+    else:
+        idx, _, _, _ = kd_search(st.tree, st.queries[q], st.k)
     st.results[q, : len(idx)] = idx
 
 
@@ -205,6 +211,20 @@ class KnnWorkload(Workload):
         hot = zipf_choices(clusters, num_queries, query_skew, rng)
         centers = self.dataset.centers[hot]
         self.queries = centers + rng.normal(0.0, 0.8, size=centers.shape)
+        # Per-query search memo: the search is a pure function of
+        # (tree, queries, k), all frozen at construction, so the hint
+        # pass and the task body share one traversal per query — and a
+        # workload instance reused across sweep points (warm runtime)
+        # never re-searches at all.
+        self._searches: dict = {}
+
+    def _search(self, q: int) -> Tuple[np.ndarray, np.ndarray,
+                                       List[int], List[int]]:
+        hit = self._searches.get(q)
+        if hit is None:
+            hit = kd_search(self.tree, self.queries[q], self.k)
+            self._searches[q] = hit
+        return hit
 
     def setup(self, system) -> KnnState:
         tree = self.tree
@@ -221,14 +241,13 @@ class KnnWorkload(Workload):
             results=np.full((len(self.queries), self.k), -1, dtype=np.int64),
             k=self.k,
             home_of_query=system.memory_map.home_units(queries.addresses),
+            search=self._search,
         )
 
     def root_tasks(self, state: KnnState) -> List[Task]:
         tasks = []
         for q in range(len(state.queries)):
-            _, _, visited, scanned = kd_search(
-                state.tree, state.queries[q], state.k
-            )
+            _, _, visited, scanned = self._search(q)
             addrs = np.concatenate(
                 (
                     [state.query_addrs[q]],

@@ -1,0 +1,417 @@
+"""Tests for the warm worker runtime (repro.sweep.runtime): scope
+gating, workload spec resolution, the shared-memory store, warm-vs-cold
+bit-identity, fault-epoch memo invalidation, crash cleanup and the
+history-informed LPT ordering."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.config import experiment_config
+from repro.faults import FaultSchedule
+from repro.observatory.history import HistoryLedger, RunRecord
+from repro.sweep import ResultCache, SweepPoint, SweepRunner
+from repro.sweep import runner as runner_mod
+from repro.sweep import runtime as runtime_mod
+from repro.sweep.runtime import (
+    SHM_PREFIX,
+    ProcessMemos,
+    SharedWorkloadStore,
+    WorkerRuntime,
+    active_memos,
+    lpt_order,
+    materialize_point,
+    predicted_wall_times,
+    resolve_workload_spec,
+    warm_memos,
+)
+from repro.sweep.serialize import result_to_dict
+
+POINT_KW = {"num_points": 256, "iterations": 1}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime(monkeypatch, tmp_path):
+    """Fresh memos, no ambient scope, and all cache/history side
+    effects redirected into tmp_path (CI runs under REPRO_NO_CACHE=1,
+    which individual tests override explicitly)."""
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ambient_cache"))
+    monkeypatch.setattr(runtime_mod, "_MEMOS", None)
+    monkeypatch.setattr(runtime_mod, "_SCOPE_DEPTH", 0)
+
+
+def small_cfg():
+    return experiment_config().scaled(2, 2)
+
+
+def kmeans_points(designs=("B", "O"), cfg=None):
+    cfg = cfg or small_cfg()
+    return [
+        SweepPoint(d, "kmeans", cfg, workload_kwargs=dict(POINT_KW))
+        for d in designs
+    ]
+
+
+def result_blobs(report):
+    return [
+        json.dumps(result_to_dict(o.result), sort_keys=True)
+        for o in report.outcomes
+    ]
+
+
+def shm_leaks():
+    """Names of this runtime's segments still present in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):  # non-Linux: nothing to check
+        return []
+    return [n for n in os.listdir("/dev/shm") if n.startswith(SHM_PREFIX)]
+
+
+# ----------------------------------------------------------------------
+class TestScopeGating:
+    def test_cold_by_default(self):
+        assert active_memos() is None
+
+    def test_warm_scope_enables_and_restores(self):
+        with warm_memos() as memos:
+            assert active_memos() is memos
+            with warm_memos() as inner:  # re-entrant, same memos
+                assert inner is memos
+            assert active_memos() is memos
+        assert active_memos() is None
+
+    def test_memos_survive_scope_exit(self):
+        with warm_memos() as memos:
+            memos.workloads["tok"] = "wl"
+        with warm_memos() as memos:
+            assert memos.workloads.get("tok") == "wl"
+
+    def test_materialize_point_cold_is_plain_materialize(self):
+        point = kmeans_points(["B"])[0]
+        wl = materialize_point(point)
+        assert wl.name == "kmeans"
+        assert active_memos() is None
+
+
+# ----------------------------------------------------------------------
+class TestResolveWorkloadSpec:
+    def test_factory_cold(self):
+        wl = resolve_workload_spec(("factory", "kmeans", dict(POINT_KW)))
+        assert wl.name == "kmeans"
+
+    def test_object_passthrough(self):
+        wl = repro.make_workload("kmeans", **POINT_KW)
+        assert resolve_workload_spec(("object", wl)) is wl
+
+    def test_factory_warm_memoizes(self):
+        spec = ("factory", "kmeans", dict(POINT_KW))
+        with warm_memos() as memos:
+            a = resolve_workload_spec(spec)
+            b = resolve_workload_spec(spec)
+            assert a is b
+            assert memos.stats.workload_hits == 1
+            assert memos.stats.workload_misses == 1
+
+    def test_shm_roundtrip_and_fallback(self):
+        store = SharedWorkloadStore()
+        try:
+            wl = repro.make_workload("kmeans", **POINT_KW)
+            desc = store.put("tok123", wl)
+            if desc is not None:  # /dev/shm available
+                name, size = desc
+                out = resolve_workload_spec(("shm", "tok123", name, size,
+                                             None))
+                assert out.name == "kmeans"
+                assert out.clusters == wl.clusters
+                assert out.dataset.points.shape == wl.dataset.points.shape
+            # a vanished segment falls back to the factory spec
+            out = resolve_workload_spec(
+                ("shm", "tokX", SHM_PREFIX + "missing", 64,
+                 ("factory", "kmeans", dict(POINT_KW))))
+            assert out.name == "kmeans"
+        finally:
+            store.close()
+
+    def test_shm_missing_without_fallback_raises(self):
+        with pytest.raises(Exception):
+            resolve_workload_spec(
+                ("shm", "tokX", SHM_PREFIX + "missing", 64, None))
+
+
+# ----------------------------------------------------------------------
+class TestSharedWorkloadStore:
+    def test_put_dedupes_and_close_unlinks(self):
+        store = SharedWorkloadStore()
+        wl = repro.make_workload("kmeans", **POINT_KW)
+        desc = store.put("tok", wl)
+        if desc is None:
+            pytest.skip("shared memory unavailable")
+        assert store.put("tok", wl) == desc
+        assert store.descriptor("tok") == desc
+        assert len(store) == 1
+        store.close()
+        assert store.descriptor("tok") is None
+        assert not shm_leaks()
+        store.close()  # idempotent
+        assert store.put("tok2", wl) is None  # closed store stores nothing
+
+    def test_runtime_close_unlinks_segments(self):
+        rt = WorkerRuntime(jobs=1)
+        spec = rt.workload_spec(kmeans_points(["B"])[0])
+        if spec[0] == "shm" and os.path.isdir("/dev/shm"):
+            assert spec[2] in os.listdir("/dev/shm")
+        rt.close()
+        assert not shm_leaks()
+        with pytest.raises(RuntimeError):
+            rt.pool(1)
+
+    def test_workload_spec_falls_back_after_close(self):
+        rt = WorkerRuntime(jobs=1)
+        rt.close()
+        spec = rt.workload_spec(kmeans_points(["B"])[0])
+        assert spec[0] == "factory"
+
+
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    """Warm results and cache entries are byte-identical to cold ones."""
+
+    def _entry_blobs(self, cache, keys):
+        out = []
+        for key in keys:
+            payload = json.loads(cache.path_for(key).read_text())
+            out.append(json.dumps(payload["result"], sort_keys=True))
+        return out
+
+    def test_serial_warm_equals_cold(self, tmp_path):
+        cfg = small_cfg()
+        points = kmeans_points(("B", "C", "O"), cfg) + [
+            SweepPoint(d, "astar", cfg,
+                       workload_kwargs={"rows": 12, "cols": 12})
+            for d in ("C", "O")
+        ]
+        cold_cache = ResultCache(tmp_path / "cold")
+        cold = SweepRunner(cache=cold_cache, jobs=1, runtime=False) \
+            .run(points)
+        warm_cache = ResultCache(tmp_path / "warm")
+        with WorkerRuntime(jobs=1) as rt:
+            warm = SweepRunner(cache=warm_cache, jobs=1, runtime=rt) \
+                .run(points)
+        assert not cold.failures and not warm.failures
+        assert all(o.source == "run" for o in warm.outcomes)
+        assert result_blobs(cold) == result_blobs(warm)
+        keys = [o.key for o in cold.outcomes]
+        assert all(keys)
+        assert self._entry_blobs(cold_cache, keys) == \
+            self._entry_blobs(warm_cache, keys)
+        # the warm pass actually exercised the memos
+        assert rt.closed
+
+    def test_pool_warm_equals_cold(self, tmp_path):
+        points = kmeans_points(("B", "O"))
+        cold_cache = ResultCache(tmp_path / "cold")
+        cold = SweepRunner(cache=cold_cache, jobs=2, runtime=False) \
+            .run(points)
+        warm_cache = ResultCache(tmp_path / "warm")
+        with WorkerRuntime(jobs=2) as rt:
+            warm = SweepRunner(cache=warm_cache, jobs=2, runtime=rt) \
+                .run(points)
+        assert not cold.failures and not warm.failures
+        assert result_blobs(cold) == result_blobs(warm)
+        keys = [o.key for o in cold.outcomes]
+        assert self._entry_blobs(cold_cache, keys) == \
+            self._entry_blobs(warm_cache, keys)
+        assert not shm_leaks()
+
+    def test_shared_runtime_across_runs_stays_identical(self):
+        points = kmeans_points(("O",))
+        cold = SweepRunner(cache=False, jobs=1, runtime=False).run(points)
+        with WorkerRuntime(jobs=1) as rt:
+            first = SweepRunner(cache=False, jobs=1, runtime=rt).run(points)
+            second = SweepRunner(cache=False, jobs=1, runtime=rt).run(points)
+        assert result_blobs(cold) == result_blobs(first) == \
+            result_blobs(second)
+
+
+# ----------------------------------------------------------------------
+class TestFaultInvalidation:
+    """Memos never donate state touched by a fault epoch, and warm
+    faulted runs match cold faulted runs bit for bit."""
+
+    WL_KW = {"num_points": 256, "iterations": 2}
+
+    def _run(self, fault_schedule=None):
+        wl = repro.make_workload("kmeans", **self.WL_KW)
+        if fault_schedule is not None:
+            return repro.simulate("O", wl, small_cfg(),
+                                  fault_schedule=fault_schedule)
+        return repro.simulate("O", wl, small_cfg())
+
+    def test_faulted_runs_never_harvest(self):
+        sched = FaultSchedule.unit_failures([1], at_timestamp=1)
+        with warm_memos() as memos:
+            faulted = self._run(sched)
+            assert faulted.resilience is not None
+            assert memos.stats.camp_harvests == 0
+            assert memos.stats.line_harvests == 0
+            assert not memos.noc_tables
+            assert not memos.camp_tables
+            assert not memos.line_memos
+
+    def test_healthy_after_faulted_matches_cold(self):
+        sched = FaultSchedule.unit_failures([1], at_timestamp=1)
+        cold_healthy = self._run()
+        cold_faulted = self._run(sched)
+        with warm_memos() as memos:
+            warm_faulted = self._run(sched)
+            warm_healthy_1 = self._run()   # harvests
+            assert memos.stats.camp_harvests >= 1
+            warm_healthy_2 = self._run()   # runs from the seeded memos
+            assert memos.stats.camp_seeds >= 1
+        blob = lambda r: json.dumps(result_to_dict(r), sort_keys=True)  # noqa: E731
+        assert blob(warm_faulted) == blob(cold_faulted)
+        assert blob(warm_healthy_1) == blob(cold_healthy)
+        assert blob(warm_healthy_2) == blob(cold_healthy)
+
+    def test_fault_points_in_sweep_stay_cold_correct(self):
+        sched = FaultSchedule.unit_failures([1], at_timestamp=1)
+        cfg = small_cfg()
+        points = [
+            SweepPoint("O", "kmeans", cfg,
+                       workload_kwargs=dict(self.WL_KW)),
+            SweepPoint("O", "kmeans", cfg,
+                       workload_kwargs=dict(self.WL_KW),
+                       fault_schedule=sched),
+        ]
+        cold = SweepRunner(cache=False, jobs=1, runtime=False).run(points)
+        with WorkerRuntime(jobs=1) as rt:
+            warm = SweepRunner(cache=False, jobs=1, runtime=rt).run(points)
+        assert result_blobs(cold) == result_blobs(warm)
+        assert warm.outcomes[1].result.resilience is not None
+
+
+# ----------------------------------------------------------------------
+class TestCrashCleanup:
+    def test_worker_crash_retried_in_parent(self, monkeypatch):
+        parent = os.getpid()
+        real = runner_mod._live_simulate
+
+        def flaky(design, workload, config, telemetry=None,
+                  fault_schedule=None):
+            if os.getpid() != parent:
+                raise RuntimeError("boom in worker")
+            return real(design, workload, config)
+
+        monkeypatch.setattr(runner_mod, "_live_simulate", flaky)
+        with WorkerRuntime(jobs=2) as rt:
+            report = SweepRunner(cache=False, jobs=2, runtime=rt) \
+                .run(kmeans_points(("B", "O")))
+        assert not report.failures
+        assert {o.source for o in report.outcomes} == {"retry"}
+        assert not shm_leaks()
+
+    def test_total_crash_reported_and_no_shm_leak(self, monkeypatch):
+        def broken(design, workload, config, telemetry=None,
+                   fault_schedule=None):
+            raise RuntimeError("always boom")
+
+        monkeypatch.setattr(runner_mod, "_live_simulate", broken)
+        with WorkerRuntime(jobs=2) as rt:
+            report = SweepRunner(cache=False, jobs=2, runtime=rt) \
+                .run(kmeans_points(("B", "O")))
+        assert len(report.failures) == 2
+        assert all(o.source == "failed" for o in report.outcomes)
+        assert "always boom" in report.failures[0].error
+        assert not shm_leaks()
+
+
+# ----------------------------------------------------------------------
+class TestLptOrdering:
+    def _ledger(self, tmp_path, records):
+        led = HistoryLedger(path=tmp_path / "history.jsonl")
+        for rec in records:
+            assert led.append(rec)
+        return led
+
+    def _points(self):
+        cfg = small_cfg()
+        return [
+            SweepPoint("B", "pr", cfg),
+            SweepPoint("O", "pr", cfg),
+            SweepPoint("O", "knn", cfg),  # never seen -> mean fallback
+        ], f"{cfg.topology.mesh_rows}x{cfg.topology.mesh_cols}"
+
+    def test_slowest_first_stable(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_HISTORY", raising=False)
+        points, mesh = self._points()
+        led = self._ledger(tmp_path, [
+            RunRecord(source="simulate", design="B", workload="pr",
+                      mesh=mesh, wall_s=0.5),
+            RunRecord(source="simulate", design="O", workload="pr",
+                      mesh=mesh, wall_s=2.0),
+        ])
+        preds = predicted_wall_times(points, ledger=led)
+        assert preds is not None
+        assert preds[1] == pytest.approx(2.0)
+        assert preds[2] == pytest.approx((0.5 + 2.0) / 2)  # mean fallback
+        assert lpt_order(points, ledger=led) == [1, 2, 0]
+
+    def test_median_of_recent_samples(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_HISTORY", raising=False)
+        points, mesh = self._points()
+        led = self._ledger(tmp_path, [
+            RunRecord(source="simulate", design="B", workload="pr",
+                      mesh=mesh, wall_s=w)
+            for w in (100.0, 1.0, 2.0, 3.0, 4.0, 5.0)  # oldest dropped
+        ])
+        preds = predicted_wall_times(points, ledger=led)
+        assert preds[0] == pytest.approx(3.0)
+
+    def test_identity_without_history(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_HISTORY", raising=False)
+        points, _ = self._points()
+        empty = HistoryLedger(path=tmp_path / "none.jsonl")
+        assert predicted_wall_times(points, ledger=empty) is None
+        assert lpt_order(points, ledger=empty) == [0, 1, 2]
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        points, mesh = self._points()
+        led = self._ledger(tmp_path, [
+            RunRecord(source="simulate", design="O", workload="pr",
+                      mesh=mesh, wall_s=2.0),
+        ])
+        monkeypatch.setenv("REPRO_NO_HISTORY", "1")
+        assert predicted_wall_times(points, ledger=led) is None
+        assert lpt_order(points, ledger=led) == [0, 1, 2]
+
+    def test_cache_records_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_HISTORY", raising=False)
+        points, mesh = self._points()
+        led = self._ledger(tmp_path, [
+            RunRecord(source="cache", design="O", workload="pr",
+                      mesh=mesh, wall_s=9.0),
+        ])
+        assert predicted_wall_times(points, ledger=led) is None
+
+
+# ----------------------------------------------------------------------
+class TestProcessMemos:
+    def test_machine_key_shared_across_schedulers(self):
+        memos = ProcessMemos()
+        cfg = small_cfg()
+        from repro.core.system import DESIGN_POINTS, _apply_design
+
+        c_cfg = _apply_design(cfg, DESIGN_POINTS["C"])
+        o_cfg = _apply_design(cfg, DESIGN_POINTS["O"])
+        b_cfg = _apply_design(cfg, DESIGN_POINTS["B"])
+        assert memos.machine_key(c_cfg) == memos.machine_key(o_cfg)
+        assert memos.machine_key(b_cfg) != memos.machine_key(o_cfg)
+
+    def test_workload_memo_lru_bound(self):
+        memos = ProcessMemos()
+        for i in range(runtime_mod.MAX_WORKLOAD_MEMOS + 4):
+            memos.remember_workload(f"tok{i}", object())
+        assert len(memos.workloads) == runtime_mod.MAX_WORKLOAD_MEMOS
+        assert "tok0" not in memos.workloads
