@@ -1,0 +1,126 @@
+"""CI gate for the insight plane: classify + scrape, end to end.
+
+Runs the tiny committed ``campaigns/smoke.json`` campaign against a
+throwaway cache root, builds the bottleneck-classification report
+over its ``report.json``, and asserts:
+
+* every campaign point classifies into a known bottleneck class with
+  **non-zero confidence** (a zero-margin classification means the
+  occupancy model degenerated);
+* the report JSON is **byte-identical** across two builds (the
+  determinism contract of ``docs/insight.md``);
+
+then starts a live experiment server on the warmed cache and asserts
+``GET /v1/metrics`` scrapes cleanly: the Prometheus content type, a
+healthy number of metric families, and the family names the
+dashboards key on.  This is the ``report-smoke`` CI job.
+"""
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+REQUIRED_FAMILIES = (
+    "repro_server_requests_total",
+    "repro_server_ops_total",
+    "repro_server_jobs",
+    "repro_server_jobs_in_flight",
+    "repro_cache_ops_total",
+    "repro_cache_entries",
+    "repro_history_records",
+    "repro_runtime_memo_events_total",
+)
+MIN_FAMILIES = 12
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-report-smoke-") \
+            as tmp:
+        cache_root = str(Path(tmp) / "cache")
+        os.environ["REPRO_CACHE_DIR"] = cache_root
+        os.environ["REPRO_NO_HISTORY"] = "1"
+
+        from repro.campaign import load_campaign, run_campaign
+        from repro.insight import build_report
+        from repro.insight.attribution import BOTTLENECK_CLASSES
+        from repro.insight.metrics_plane import PROMETHEUS_CONTENT_TYPE
+        from repro.service.client import ServiceClient
+        from repro.service.server import run_in_thread
+        from repro.sweep.cache import default_cache
+
+        campaign = load_campaign(ROOT / "campaigns" / "smoke.json")
+        expansion = campaign.expand()
+        outcome = run_campaign(campaign, expansion, jobs=1)
+        print(f"campaign: {outcome.summary()}")
+        if outcome.failures:
+            print("error: smoke campaign had failing points",
+                  file=sys.stderr)
+            return 1
+        report_path = outcome.write(Path(tmp) / "artifacts")
+        print(f"wrote {report_path}")
+
+        # -- classification: every point, a real class, a real margin
+        insight = build_report(report_path, cache=default_cache())
+        if len(insight.points) != len(expansion.points):
+            print(f"error: classified {len(insight.points)} of "
+                  f"{len(expansion.points)} points", file=sys.stderr)
+            return 1
+        for point in insight.points:
+            profile = point.profile
+            print(f"  {point.label}: {profile.describe()}")
+            if profile.primary not in BOTTLENECK_CLASSES:
+                print(f"error: {point.label} classified as unknown "
+                      f"class {profile.primary!r}", file=sys.stderr)
+                return 1
+            if profile.confidence <= 0.0:
+                print(f"error: {point.label} classified with zero "
+                      f"confidence — degenerate occupancy model",
+                      file=sys.stderr)
+                return 1
+        if build_report(report_path, cache=default_cache()).to_json() \
+                != insight.to_json():
+            print("error: report JSON is not deterministic",
+                  file=sys.stderr)
+            return 1
+        print("classification ok: every point classified, "
+              "non-zero confidence, byte-stable JSON")
+
+        # -- /v1/metrics against a live server on the warmed cache
+        handle = run_in_thread(workers=0, cache_root=cache_root)
+        try:
+            client = ServiceClient(handle.base_url, timeout=60.0)
+            answer = client.submit(
+                {"design": "B", "workload": "pr", "mesh": "2x2"},
+                wait=True)
+            print(f"submit on warm cache: {answer['status']}")
+            content_type, text = client.metrics()
+            if content_type != PROMETHEUS_CONTENT_TYPE:
+                print(f"error: /v1/metrics content type "
+                      f"{content_type!r}", file=sys.stderr)
+                return 1
+            families = [line.split()[2] for line in text.splitlines()
+                        if line.startswith("# TYPE ")]
+            print(f"/v1/metrics: {len(families)} families")
+            if len(families) < MIN_FAMILIES:
+                print(f"error: expected >= {MIN_FAMILIES} metric "
+                      f"families, got {len(families)}", file=sys.stderr)
+                return 1
+            missing = [n for n in REQUIRED_FAMILIES
+                       if n not in families]
+            if missing:
+                print(f"error: missing metric families: {missing}",
+                      file=sys.stderr)
+                return 1
+        finally:
+            handle.stop()
+        print("metrics ok: prometheus content type, "
+              f"{len(families)} families, all required names present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ CONFIG_SECTIONS = ("topology", "core", "memory", "noc", "sram", "cache",
 #: campaign ``base`` / ``overrides`` layer, and as the first segment of
 #: an axis or ``--set`` path.
 POINT_KEYS = ("design", "workload", "workload_kwargs", "mesh", "engine",
-              "seed", "config", "faults", "label")
+              "seed", "config", "faults", "label", "trace_id")
 
 #: environment prefix for ``$RUNTIME_VALUE`` lookups: the placeholder
 #: at document path ``base.seed`` reads ``REPRO_CAMPAIGN_BASE_SEED``.
@@ -222,6 +222,9 @@ def validate_point(data: Any) -> Dict[str, Any]:
         "mesh": data.get("mesh"), "engine": data.get("engine"),
         "seed": seed, "config": dict(data.get("config") or {}),
         "faults": faults, "label": str(data.get("label") or ""),
+        # Non-semantic correlation annotation: accepted and carried,
+        # never hashed into the run key (see repro.insight.trace).
+        "trace_id": str(data.get("trace_id") or ""),
     }
 
 

@@ -61,6 +61,10 @@ class CampaignReport:
     spec_sha256: str = ""
     server: str = ""
     history_path: str = ""
+    #: submission-time correlation id (repro.insight.trace) — pure
+    #: annotation; absent from the archived report when unset so
+    #: pre-trace reports keep their exact byte layout.
+    trace_id: str = ""
 
     @property
     def failures(self) -> List[CampaignOutcome]:
@@ -88,7 +92,7 @@ class CampaignReport:
     def to_dict(self) -> Dict[str, Any]:
         from repro.analysis.export import result_row
 
-        return {
+        out = {
             "schema": 1,
             "name": self.name,
             "fingerprint": self.fingerprint,
@@ -112,6 +116,9 @@ class CampaignReport:
                 for o in self.outcomes
             ],
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        return out
 
     def write(self, out_dir: Any,
               artifacts: Optional[Mapping[str, Any]] = None) -> Path:
@@ -167,6 +174,33 @@ def _report_skeleton(campaign: CampaignSpec,
     )
 
 
+def stamp_trace(expansion: Expansion, trace_id: str) -> str:
+    """Annotate every expanded point with a correlation id.
+
+    Must run *after* :meth:`CampaignSpec.expand`: the expansion
+    fingerprint hashes the points' spec dicts, and the trace id is a
+    per-submission annotation that must never shift a content
+    fingerprint.  Specs that already carry an id keep it.
+    """
+    for point in expansion.points:
+        if not point.spec.trace_id:
+            point.spec.trace_id = trace_id
+    return trace_id
+
+
+def _traced_events(events, trace_id: str):
+    """Wrap an events callback so every ProgressEvent carries the id."""
+    if events is None or not trace_id:
+        return events
+
+    def _fan(ev):
+        if not ev.trace_id:
+            ev.trace_id = trace_id
+        events(ev)
+
+    return _fan
+
+
 # ----------------------------------------------------------------------
 # local execution through the sweep engine
 # ----------------------------------------------------------------------
@@ -178,6 +212,7 @@ def run_campaign(
     progress=None,
     events=None,
     runtime: Any = None,
+    trace_id: str = "",
 ) -> CampaignReport:
     """Run an expanded campaign locally via :class:`SweepRunner`.
 
@@ -185,10 +220,16 @@ def run_campaign(
     campaign its own warm :class:`~repro.sweep.runtime.WorkerRuntime`,
     an instance shares one across campaigns (multi-campaign drivers pay
     pool startup once), ``False`` forces the legacy cold path.
+    ``trace_id`` (optional) stamps every point and progress event for
+    end-to-end correlation — annotation only, keys untouched.
     """
     from repro.sweep.runner import SweepPoint, SweepRunner
 
+    if trace_id:
+        stamp_trace(expansion, trace_id)
+        events = _traced_events(events, trace_id)
     report = _report_skeleton(campaign, expansion)
+    report.trace_id = trace_id
     sweep_points = []
     for point in expansion.points:
         spec = point.spec
@@ -219,6 +260,7 @@ def run_campaign_via_server(
     campaign: CampaignSpec,
     sets: Optional[Mapping[str, Any]] = None,
     events=None,
+    trace_id: str = "",
 ) -> CampaignReport:
     """Run a campaign through ``POST /v1/campaign``.
 
@@ -235,7 +277,7 @@ def run_campaign_via_server(
     def emit(**kwargs):
         if events is not None:
             try:
-                events(ProgressEvent(**kwargs))
+                events(ProgressEvent(trace_id=trace_id, **kwargs))
             except Exception:
                 pass  # observability never fails the run
 
@@ -244,6 +286,11 @@ def run_campaign_via_server(
     expansion = campaign.expand(sets=sets)
     report = _report_skeleton(campaign, expansion)
     report.server = client.base_url
+    report.trace_id = trace_id
+    if trace_id:
+        # Stamp after expand(): the fingerprint (already computed, and
+        # already checked against the server's) must stay content-only.
+        stamp_trace(expansion, trace_id)
     rows = answer.get("points", [])
     if answer.get("fingerprint") not in ("", None, report.fingerprint):
         raise ServiceError(

@@ -18,6 +18,9 @@
                                              # expand / report too)
     python -m repro bench                    # time the simulator itself
                                              # -> BENCH_<n>.json
+    python -m repro report campaign_out/x    # bottleneck classification
+                                             # matrix (DAMOV-style) over
+                                             # a campaign/sweep/ledger
     python -m repro diff -1 -2               # compare the two newest
                                              # runs in the history ledger
     python -m repro regress                  # perf-regression scan over
@@ -203,15 +206,34 @@ def _telemetry_from_args(args):
 
 
 def _write_trace(telemetry, out: Optional[str],
-                 jsonl: Optional[str] = None) -> None:
+                 jsonl: Optional[str] = None,
+                 trace_id: str = "") -> None:
     tl = telemetry.timeline
     if out:
         tl.write_chrome(out)
+        if trace_id:
+            # Stamp the correlation id at write time only — never into
+            # timeline.metadata, which summary() copies into the
+            # byte-stable telemetry sidecar.
+            _stamp_trace_file(out, trace_id)
         print(f"wrote {out} ({len(tl)} events, {tl.dropped} dropped; "
               f"open at chrome://tracing or https://ui.perfetto.dev)")
     if jsonl:
         tl.write_jsonl(jsonl)
         print(f"wrote {jsonl}")
+
+
+def _stamp_trace_file(path: str, trace_id: str) -> None:
+    """Add the trace_id to a written Chrome trace's otherData."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = _json.load(fh)
+        if isinstance(payload, dict):
+            payload.setdefault("otherData", {})["trace_id"] = trace_id
+            with open(path, "w", encoding="utf-8") as fh:
+                _json.dump(payload, fh)
+    except (OSError, ValueError):
+        pass  # annotation only — never fail the run over it
 
 
 def _export(args, results: List[RunResult]) -> None:
@@ -240,6 +262,8 @@ def _print_comparison(results: Dict[str, RunResult]) -> None:
 # subcommands
 # ----------------------------------------------------------------------
 def cmd_describe(args) -> int:
+    if getattr(args, "run", None):
+        return _describe_run(args.run, args)
     print(describe_config(_config_from_args(args)))
     tel = _telemetry_from_args(args)
     if tel is None:
@@ -248,6 +272,29 @@ def cmd_describe(args) -> int:
     else:
         print(f"telemetry: enabled "
               f"(sample interval = {tel.sampler.interval} timestamps)")
+    return 0
+
+
+def _describe_run(ref: str, args) -> int:
+    """``repro describe --run REF``: one recorded run's status line,
+    including its bottleneck class when a telemetry sidecar exists."""
+    from repro.observatory.diffing import (_bottleneck_profile,
+                                           resolve_ref)
+
+    handle = resolve_ref(ref, cache=_cache_from_args(args))
+    print(f"run {handle.describe()}")
+    profile = _bottleneck_profile(handle)
+    if profile is None:
+        print("bottleneck: unclassifiable (no metrics for this "
+              "reference — its cache entry and ledger line are gone)")
+        return 0
+    if handle.telemetry:
+        print(f"bottleneck: {profile.describe()}")
+    else:
+        print(f"bottleneck: {profile.describe()} — no telemetry "
+              f"sidecar, so NoC attribution is the mean-link lower "
+              f"bound; re-run via `repro sweep` (sidecars record "
+              f"automatically) or `repro trace` for link-level detail")
     return 0
 
 
@@ -291,7 +338,10 @@ def cmd_run(args) -> int:
     if args.verify:
         print("answer verified against the reference implementation")
     if telemetry is not None:
-        _write_trace(telemetry, getattr(args, "trace_out", None))
+        from repro.insight.trace import mint_trace_id
+
+        _write_trace(telemetry, getattr(args, "trace_out", None),
+                     trace_id=mint_trace_id())
     _export(args, [result])
     return 0
 
@@ -304,7 +354,10 @@ def cmd_trace(args) -> int:
     result = repro.simulate(args.design, args.workload, cfg,
                             telemetry=telemetry)
     print(result.summary())
-    _write_trace(telemetry, args.out, getattr(args, "jsonl", None))
+    from repro.insight.trace import mint_trace_id
+
+    _write_trace(telemetry, args.out, getattr(args, "jsonl", None),
+                 trace_id=mint_trace_id())
     return 0
 
 
@@ -661,6 +714,10 @@ def cmd_campaign(args) -> int:
         log.detail(f"{expansion.duplicates_dropped} duplicate "
                    f"point(s) dropped during expansion")
     events = _campaign_events(args, log, campaign, out_dir)
+    from repro.insight.trace import mint_trace_id
+
+    trace_id = mint_trace_id()
+    log.detail(f"trace id {trace_id}")
     if getattr(args, "server", None):
         from repro.campaign import run_campaign_via_server
         from repro.service.client import ServiceClient
@@ -668,13 +725,15 @@ def cmd_campaign(args) -> int:
         client = ServiceClient(args.server)
         log.detail(f"submitting campaign to {client.base_url}")
         report = run_campaign_via_server(client, campaign, sets=sets,
-                                         events=events)
+                                         events=events,
+                                         trace_id=trace_id)
     else:
         from repro.campaign import run_campaign
 
         report = run_campaign(campaign, expansion,
                               cache=_cache_from_args(args),
-                              jobs=args.jobs, events=events)
+                              jobs=args.jobs, events=events,
+                              trace_id=trace_id)
     for o in report.failures:
         log.error(f"FAILED {o.point.label}: "
                   f"{(o.error or 'unknown').strip().splitlines()[-1]}")
@@ -684,6 +743,58 @@ def cmd_campaign(args) -> int:
     print(f"wrote {report_path}")
     _export(args, [o.result for o in report.outcomes if o.ok])
     return 1 if report.failures else 0
+
+
+def cmd_report(args) -> int:
+    """``python -m repro report ARTIFACT``: DAMOV-style bottleneck
+    classification over a campaign report.json, a ``repro sweep``
+    export, or a history-ledger slice (docs/insight.md).  Points whose
+    run keys still resolve in the result cache are refined with the
+    full per-unit cycle vector and the telemetry sidecar."""
+    from pathlib import Path
+
+    from repro.insight import build_report
+    from repro.sweep.cache import resolve_cache
+
+    source = Path(args.input)
+    if source.is_dir():
+        source = source / "report.json"
+    cache = resolve_cache(_cache_from_args(args))
+    report = build_report(source, cache=cache, last=args.last)
+    if not report.points:
+        print(f"error: no classifiable points in {source} (every point "
+              f"failed, or the artifact holds no metric rows)",
+              file=sys.stderr)
+        return 2
+    if args.out:
+        for path in report.write(args.out, formats=args.format,
+                                 with_heatmap=args.heatmap):
+            print(f"wrote {path}")
+    elif args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.to_markdown())
+        if args.heatmap:
+            print(report.heatmap())
+    if args.trace_out:
+        from repro.insight.trace import write_campaign_trace
+
+        try:
+            payload = _json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ValueError(
+                f"--trace-out needs a readable campaign report: {exc}")
+        if not isinstance(payload, dict) or "points" not in payload:
+            raise ValueError(
+                "--trace-out needs a campaign report.json input (the "
+                "correlated timeline is built from its per-point "
+                "record)")
+        out = write_campaign_trace(payload, args.trace_out,
+                                   extra_trace_paths=args.merge_trace
+                                   or ())
+        print(f"wrote {out} (open at chrome://tracing or "
+              f"https://ui.perfetto.dev)")
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -1094,6 +1205,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_describe = sub.add_parser("describe", help="print the configuration")
     add_common(p_describe, workload=False)
     add_telemetry(p_describe)
+    p_describe.add_argument(
+        "--run", metavar="REF", default=None,
+        help="describe one recorded run instead (history index, "
+             "run-key prefix, or run JSON path): identity line plus "
+             "its bottleneck class when a telemetry sidecar exists")
     sub.add_parser("designs", help="print the Table 2 design matrix")
 
     p_run = sub.add_parser("run", help="simulate one design/workload")
@@ -1279,6 +1395,43 @@ def build_parser() -> argparse.ArgumentParser:
                            help="dump the raw report payload")
     add_verbosity(pc_report)
 
+    p_report = sub.add_parser(
+        "report",
+        help="bottleneck classification report (DAMOV-style) over a "
+             "campaign report.json, sweep export, or history ledger "
+             "(see docs/insight.md)",
+    )
+    p_report.add_argument(
+        "input",
+        help="campaign artifact dir or report.json, `repro sweep` "
+             "output JSON, or a history .jsonl ledger")
+    p_report.add_argument("--out", metavar="DIR", default=None,
+                          help="write insight.json / insight.md under "
+                               "DIR instead of printing to stdout")
+    p_report.add_argument("--format", choices=["json", "md", "both"],
+                          default="both",
+                          help="renderings to emit (default: both; "
+                               "stdout mode prints markdown unless "
+                               "--format json)")
+    p_report.add_argument("--heatmap", action="store_true",
+                          help="also render the ASCII memory-intensity "
+                               "heatmap")
+    p_report.add_argument("--last", type=int, default=None, metavar="N",
+                          help="only the newest N records of a ledger "
+                               "or sweep input")
+    p_report.add_argument("--trace-out", metavar="PATH", default=None,
+                          help="merge the campaign's per-point record "
+                               "into one correlated Chrome trace at "
+                               "PATH (campaign report inputs only)")
+    p_report.add_argument("--merge-trace", action="append",
+                          metavar="PATH", default=None,
+                          help="extra per-run Chrome trace fragments "
+                               "to fold into --trace-out (repeatable)")
+    p_report.add_argument("--no-cache", action="store_true",
+                          help="classify from the artifact alone, "
+                               "without result-cache refinement")
+    add_verbosity(p_report)
+
     p_diff = sub.add_parser(
         "diff",
         help="compare two recorded runs (history indices like -1/-2, "
@@ -1372,6 +1525,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "sweep": cmd_sweep,
     "campaign": cmd_campaign,
+    "report": cmd_report,
     "diff": cmd_diff,
     "regress": cmd_regress,
     "serve": cmd_serve,

@@ -1,0 +1,26 @@
+"""Bottleneck attribution and the unified observability plane.
+
+``repro.insight`` answers the question the rest of the telemetry stack
+only gathers evidence for: *which resource bounds this run?*  It is
+strictly read-only over existing artifacts — metric rows, telemetry
+sidecars, campaign reports, the run-history ledger — and therefore
+strictly non-semantic: run keys, cached result JSON and the
+``abndp-sim-1`` version salt are untouched by everything in here.
+
+* :mod:`~repro.insight.attribution` — per-run resource occupancy
+  fractions and the DAMOV-style :class:`BottleneckProfile`;
+* :mod:`~repro.insight.report` — ``repro report``: workload x design
+  classification matrices over campaign / sweep / ledger inputs;
+* :mod:`~repro.insight.metrics_plane` — Prometheus text exposition for
+  ``GET /v1/metrics`` (stdlib only) plus warm-runtime counter export;
+* :mod:`~repro.insight.trace` — ``trace_id`` minting and Chrome-trace
+  merging for end-to-end correlation.
+"""
+
+from repro.insight.attribution import (  # noqa: F401
+    BOTTLENECK_CLASSES,
+    BottleneckProfile,
+    attribute_point,
+)
+from repro.insight.report import InsightReport, build_report  # noqa: F401
+from repro.insight.trace import mint_trace_id  # noqa: F401

@@ -1,0 +1,384 @@
+"""``repro report``: workload x design bottleneck classification.
+
+Builds an :class:`InsightReport` — one :class:`~repro.insight.
+attribution.BottleneckProfile` per run plus the aggregated workload x
+design matrix — from any of the three artifact shapes the repo already
+produces:
+
+* a **campaign report** (``report.json`` written by
+  :class:`~repro.campaign.runner.CampaignReport`): the richest input —
+  every point carries its spec (exact config resolution), its run key
+  (cache cross-link for the per-unit cycle vector and the telemetry
+  sidecar) and its metric row;
+* a **sweep export** (the JSON array ``repro sweep --out`` /
+  ``analysis.export.to_json`` writes): metric rows only;
+* a **history-ledger slice** (``history.jsonl``): headline metrics per
+  record, refined through the cache when the record's key still
+  resolves.
+
+The report is deterministic by construction: no wall-clock, no
+environment — same input artifacts, byte-identical ``insight.json``.
+Classification is read-only over those artifacts (nothing simulates,
+nothing touches run keys).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.analysis.export import result_row
+from repro.config import SystemConfig, experiment_config
+from repro.insight.attribution import (
+    BOTTLENECK_CLASSES,
+    BottleneckProfile,
+    attribute_point,
+)
+
+REPORT_SCHEMA = 1
+
+#: markdown / heatmap cell order for designs, the paper's convention.
+_DESIGN_ORDER = ("C", "B", "Sm", "Sl", "Sh", "O")
+
+
+@dataclass
+class PointInsight:
+    """One classified run inside a report."""
+
+    label: str
+    design: str
+    workload: str
+    profile: BottleneckProfile
+    key: Optional[str] = None
+    source: str = ""
+    elapsed_s: float = 0.0
+    assignments: Any = None
+    trace_id: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "label": self.label,
+            "design": self.design,
+            "workload": self.workload,
+            "key": self.key,
+            "profile": self.profile.to_dict(),
+        }
+        if self.source:
+            out["source"] = self.source
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        return out
+
+
+@dataclass
+class InsightReport:
+    """The classification report ``repro report`` renders."""
+
+    source_kind: str
+    source_path: str = ""
+    name: str = ""
+    trace_id: str = ""
+    points: List[PointInsight] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def matrix(self) -> Dict[str, Dict[str, Dict[str, Any]]]:
+        """``{workload: {design: {primary, confidence, quadrant}}}``.
+
+        Colliding cells (several points with the same workload/design,
+        e.g. a mesh sweep) agree or disagree explicitly: an agreeing
+        cell keeps the minimum confidence, a disagreeing one joins the
+        distinct primaries with ``/`` and zeroes the confidence.
+        """
+        cells: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for point in self.points:
+            row = cells.setdefault(point.workload, {})
+            cell = row.get(point.design)
+            prof = point.profile
+            if cell is None:
+                row[point.design] = {
+                    "primary": prof.primary,
+                    "confidence": prof.confidence,
+                    "quadrant": prof.quadrant,
+                    "memory_intensity": prof.memory_intensity,
+                    "points": 1,
+                }
+                continue
+            cell["points"] += 1
+            if prof.primary != cell["primary"]:
+                names = sorted(set(cell["primary"].split("/"))
+                               | {prof.primary})
+                cell["primary"] = "/".join(names)
+                cell["confidence"] = 0.0
+            else:
+                cell["confidence"] = min(cell["confidence"],
+                                         prof.confidence)
+            cell["memory_intensity"] = round(
+                (cell["memory_intensity"] * (cell["points"] - 1)
+                 + prof.memory_intensity) / cell["points"], 6)
+        return cells
+
+    def class_counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name in BOTTLENECK_CLASSES}
+        for point in self.points:
+            counts[point.profile.primary] = \
+                counts.get(point.profile.primary, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "source": {"kind": self.source_kind,
+                       "path": self.source_path,
+                       "name": self.name},
+            "trace_id": self.trace_id,
+            "classes": self.class_counts(),
+            "matrix": self.matrix(),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON: sorted keys, no timestamps."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    # ------------------------------------------------------------------
+    def _design_columns(self) -> List[str]:
+        designs = {p.design for p in self.points}
+        ordered = [d for d in _DESIGN_ORDER if d in designs]
+        ordered += sorted(designs - set(ordered))
+        return ordered
+
+    def to_markdown(self) -> str:
+        """The human rendering: classification matrix + per-point rows."""
+        designs = self._design_columns()
+        matrix = self.matrix()
+        lines = [f"# Bottleneck report — {self.name or self.source_kind}",
+                 ""]
+        if self.trace_id:
+            lines += [f"Trace: `{self.trace_id}`", ""]
+        lines.append("| workload | " + " | ".join(designs) + " |")
+        lines.append("|---" * (len(designs) + 1) + "|")
+        for workload in sorted(matrix):
+            row = [workload]
+            for design in designs:
+                cell = matrix[workload].get(design)
+                if cell is None:
+                    row.append("—")
+                else:
+                    row.append(f"{cell['primary']} "
+                               f"({cell['confidence']:.0%})")
+            lines.append("| " + " | ".join(row) + " |")
+        lines += ["", "## Points", ""]
+        for point in self.points:
+            prof = point.profile
+            occ = ", ".join(f"{k}={prof.occupancy.get(k, 0.0):.3f}"
+                            for k in BOTTLENECK_CLASSES)
+            key = f" `{point.key[:12]}`" if point.key else ""
+            lines.append(f"- **{point.label}**{key}: {prof.describe()}"
+                         f" — {occ}")
+        counts = {k: v for k, v in self.class_counts().items() if v}
+        lines += ["", "## Class counts", ""]
+        for name in BOTTLENECK_CLASSES:
+            if counts.get(name):
+                lines.append(f"- {name}: {counts[name]}")
+        return "\n".join(lines) + "\n"
+
+    def heatmap(self) -> str:
+        """ASCII memory-intensity heatmap (workloads x designs)."""
+        from repro.analysis.plotting import heatmap
+
+        designs = self._design_columns()
+        matrix = self.matrix()
+        workloads = sorted(matrix)
+        grid = [
+            [float(matrix[w].get(d, {}).get("memory_intensity", 0.0))
+             for d in designs]
+            for w in workloads
+        ]
+        return heatmap("memory intensity (0 = compute, 1 = memory)",
+                       grid, workloads, designs, fmt="{:.2f}")
+
+    # ------------------------------------------------------------------
+    def write(self, out_dir: Any, formats: str = "both",
+              with_heatmap: bool = False) -> List[Path]:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        if formats in ("json", "both"):
+            path = out / "insight.json"
+            path.write_text(self.to_json(), encoding="utf-8")
+            written.append(path)
+        if formats in ("md", "both"):
+            path = out / "insight.md"
+            path.write_text(self.to_markdown(), encoding="utf-8")
+            written.append(path)
+        if with_heatmap:
+            path = out / "insight_heatmap.txt"
+            path.write_text(self.heatmap() + "\n", encoding="utf-8")
+            written.append(path)
+        return written
+
+
+# ----------------------------------------------------------------------
+# input resolution
+# ----------------------------------------------------------------------
+def _config_for_spec(spec: Optional[Mapping[str, Any]],
+                     mesh: str = "") -> SystemConfig:
+    """Resolve a point's config best-effort (never raises)."""
+    if spec:
+        try:
+            from repro.service.spec import ExperimentSpec
+
+            return ExperimentSpec.from_dict(dict(spec)).resolved_config()
+        except Exception:
+            pass
+    if mesh:
+        try:
+            from repro.campaign.resolver import parse_mesh
+
+            return experiment_config().scaled(*parse_mesh(mesh))
+        except Exception:
+            pass
+    return experiment_config()
+
+
+def _cache_refinements(key: Optional[str], cache: Any):
+    """(metrics_row, active_cycles, telemetry) from the result cache."""
+    if not key or cache is None:
+        return None, None, None
+    telemetry = cache.load_telemetry(key)
+    result = cache.load(key)
+    if result is None:
+        return None, None, telemetry
+    return (result_row(result),
+            [float(v) for v in result.active_cycles_per_core],
+            telemetry)
+
+
+def _classify(label: str, metrics: Mapping[str, Any],
+              key: Optional[str], cache: Any,
+              spec: Optional[Mapping[str, Any]] = None,
+              mesh: str = "", source: str = "",
+              trace_id: str = "") -> PointInsight:
+    cfg = _config_for_spec(spec, mesh=mesh)
+    row, cycles, telemetry = _cache_refinements(key, cache)
+    merged = dict(metrics)
+    if row:
+        merged.update(row)
+    profile = attribute_point(merged, telemetry=telemetry, config=cfg,
+                              active_cycles=cycles)
+    return PointInsight(
+        label=label,
+        design=str(merged.get("design", "")),
+        workload=str(merged.get("workload", "")),
+        profile=profile, key=key, source=source, trace_id=trace_id,
+    )
+
+
+def _from_campaign(payload: Mapping[str, Any], path: str,
+                   cache: Any) -> InsightReport:
+    report = InsightReport(
+        source_kind="campaign", source_path=path,
+        name=str(payload.get("name", "")),
+        trace_id=str(payload.get("trace_id", "") or ""),
+    )
+    for point in payload.get("points", []):
+        metrics = point.get("metrics")
+        if not metrics:
+            continue  # failed points carry no row to classify
+        spec = point.get("spec") or {}
+        insight = _classify(
+            label=str(point.get("label") or ""), metrics=metrics,
+            key=point.get("key"), cache=cache, spec=spec,
+            source=str(point.get("source") or ""),
+            trace_id=str(spec.get("trace_id") or ""),
+        )
+        insight.elapsed_s = float(point.get("elapsed_s") or 0.0)
+        insight.assignments = point.get("assignments")
+        report.points.append(insight)
+    return report
+
+
+def _from_rows(rows: List[Mapping[str, Any]], path: str,
+               cache: Any) -> InsightReport:
+    report = InsightReport(source_kind="sweep", source_path=path,
+                           name=Path(path).stem if path else "")
+    for row in rows:
+        label = f"{row.get('design', '?')}/{row.get('workload', '?')}"
+        report.points.append(_classify(label, row, row.get("key"), cache))
+    return report
+
+
+def _from_ledger(records: List[Mapping[str, Any]], path: str,
+                 cache: Any) -> InsightReport:
+    report = InsightReport(source_kind="ledger", source_path=path,
+                           name=Path(path).stem if path else "history")
+    for record in records:
+        label = (f"{record.get('design', '?')}/"
+                 f"{record.get('workload', '?')}")
+        report.points.append(_classify(
+            label, record, record.get("key"), cache,
+            mesh=str(record.get("mesh") or ""),
+            source=str(record.get("source") or ""),
+        ))
+    return report
+
+
+def build_report(source: Any, cache: Any = None,
+                 last: Optional[int] = None) -> InsightReport:
+    """Build an :class:`InsightReport` from an artifact path.
+
+    ``source`` may be a campaign ``report.json``, a sweep-export JSON
+    array, or a ``history.jsonl`` ledger file; the shape is sniffed
+    from the content.  ``cache`` (a :class:`~repro.sweep.cache.
+    ResultCache`) refines every point whose run key still resolves;
+    ``last`` keeps only the newest N ledger records.
+
+    Raises :class:`ValueError` on unreadable or unrecognizable input.
+    """
+    path = Path(source)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read report input {path}: {exc}")
+
+    if path.suffix == ".jsonl" or "\n{" in text.strip():
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn ledger line: skip, like the ledger does
+            if isinstance(record, dict):
+                records.append(record)
+        if last:
+            records = records[-last:]
+        return _from_ledger(records, str(path), cache)
+
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"{path} is not JSON: {exc}")
+    if isinstance(payload, dict) and "points" in payload:
+        points = [p for p in payload["points"] if isinstance(p, dict)]
+        if points and not any("metrics" in p or "spec" in p
+                              for p in points):
+            # `repro sweep` matrix output: flat result rows, not the
+            # campaign report's {label, spec, metrics} envelopes.
+            if last:
+                points = points[-last:]
+            return _from_rows(points, str(path), cache)
+        return _from_campaign(payload, str(path), cache)
+    if isinstance(payload, list):
+        rows = [r for r in payload if isinstance(r, dict)]
+        if last:
+            rows = rows[-last:]
+        return _from_rows(rows, str(path), cache)
+    raise ValueError(
+        f"{path}: expected a campaign report, a sweep export array, or "
+        f"a history .jsonl ledger")

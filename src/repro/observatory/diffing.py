@@ -253,6 +253,10 @@ class RunDiff:
     wall: Optional[MetricDelta] = None
     warnings: List[str] = field(default_factory=list)
     threshold: float = DEFAULT_THRESHOLD
+    #: bottleneck-class transition (repro.insight.attribution):
+    #: ``{"a": ..., "b": ..., "changed": bool}`` when both runs carried
+    #: enough signal to classify, else None.
+    bottleneck: Optional[Dict[str, Any]] = None
 
     @property
     def semantic_deltas(self) -> List[MetricDelta]:
@@ -272,6 +276,8 @@ class RunDiff:
             "metrics": [d.to_dict() for d in self.deltas],
             "wall": self.wall.to_dict() if self.wall else None,
             "warnings": list(self.warnings),
+            "bottleneck": dict(self.bottleneck)
+            if self.bottleneck else None,
         }
 
     def render(self, verbose: bool = False) -> str:
@@ -286,6 +292,14 @@ class RunDiff:
             f"±{self.threshold:.2%} band"
         )
         lines.extend(d.render() for d in shown)
+        if self.bottleneck:
+            arrow = ("->" if self.bottleneck["changed"] else
+                     "== (unchanged)")
+            lines.append(
+                f"bottleneck class: {self.bottleneck['a']} {arrow}"
+                + (f" {self.bottleneck['b']}"
+                   if self.bottleneck["changed"] else "")
+            )
         if self.identical:
             lines.append("no semantic deltas: the runs are equivalent")
         if self.wall is not None and (self.wall.a or self.wall.b):
@@ -336,6 +350,35 @@ def _telemetry_metrics(tel: Dict[str, Any]) -> Dict[str, float]:
     return out
 
 
+def _bottleneck_profile(handle: RunHandle):
+    """Best-effort bottleneck attribution for one handle (or None)."""
+    from repro.insight.attribution import attribute_point
+
+    row = _numeric_row(handle)
+    if not row:
+        return None
+    config = None
+    mesh = handle.record.mesh if handle.record is not None else ""
+    if mesh:
+        try:
+            from repro.campaign.resolver import parse_mesh
+            from repro.config import experiment_config
+
+            config = experiment_config().scaled(*parse_mesh(mesh))
+        except Exception:
+            config = None
+    cycles = None
+    if handle.result is not None:
+        vec = handle.result.active_cycles_per_core
+        if getattr(vec, "size", 0):
+            cycles = [float(v) for v in vec]
+    try:
+        return attribute_point(row, telemetry=handle.telemetry,
+                               config=config, active_cycles=cycles)
+    except Exception:
+        return None
+
+
 def diff_runs(
     a: RunHandle,
     b: RunHandle,
@@ -348,6 +391,14 @@ def diff_runs(
 
     row_a, row_b = _numeric_row(a), _numeric_row(b)
     if a.telemetry and b.telemetry:
+        version_a = int(a.telemetry.get("version") or 1)
+        version_b = int(b.telemetry.get("version") or 1)
+        if version_a != version_b:
+            diff.warnings.append(
+                f"telemetry summary schema versions differ "
+                f"(A is v{version_a}, B is v{version_b}) — counter and "
+                f"series layouts may not be comparable"
+            )
         row_a.update(_telemetry_metrics(a.telemetry))
         row_b.update(_telemetry_metrics(b.telemetry))
     elif a.telemetry or b.telemetry:
@@ -381,6 +432,17 @@ def diff_runs(
     wall_b = b.wall_s if b.wall_s is not None else 0.0
     diff.wall = MetricDelta(name="wall_s", a=wall_a, b=wall_b,
                             threshold=threshold, semantic=False)
+
+    profile_a = _bottleneck_profile(a)
+    profile_b = _bottleneck_profile(b)
+    if profile_a is not None and profile_b is not None:
+        diff.bottleneck = {
+            "a": profile_a.primary,
+            "b": profile_b.primary,
+            "changed": profile_a.primary != profile_b.primary,
+            "quadrant_a": profile_a.quadrant,
+            "quadrant_b": profile_b.quadrant,
+        }
     return diff
 
 

@@ -45,6 +45,10 @@ class ProgressEvent:
     source: str = ""
     elapsed_s: float = 0.0
     error: str = ""
+    #: correlation id minted at submission (see repro.insight.trace);
+    #: empty on untraced runs and then absent from to_dict(), so the
+    #: NDJSON wire format is unchanged for every pre-existing consumer.
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         return {k: v for k, v in asdict(self).items()

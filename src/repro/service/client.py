@@ -27,7 +27,7 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.service.spec import ExperimentSpec
 
@@ -103,6 +103,12 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._json("GET", "/v1/stats")
+
+    def metrics(self) -> Tuple[str, str]:
+        """Scrape ``/v1/metrics``: ``(content_type, exposition_text)``."""
+        with self._open("GET", "/v1/metrics") as resp:
+            content_type = resp.headers.get("Content-Type", "")
+            return content_type, resp.read().decode("utf-8")
 
     def submit(self, spec: Any, wait: bool = True) -> Dict[str, Any]:
         """Submit one spec (an :class:`ExperimentSpec` or plain dict).

@@ -144,6 +144,19 @@ async def send_json(
     await writer.drain()
 
 
+async def send_text(
+    writer: asyncio.StreamWriter,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    status: int = 200,
+) -> None:
+    """Write one plain-text response (Prometheus exposition et al.)."""
+    body = text.encode("utf-8")
+    writer.write(_head(status, content_type, len(body)))
+    writer.write(body)
+    await writer.drain()
+
+
 async def send_error(writer: asyncio.StreamWriter, status: int,
                      message: str) -> None:
     await send_json(writer, {"error": message, "status": status},

@@ -34,6 +34,10 @@ method   path                    meaning
 =======  ======================  =====================================
 GET      /v1/health              liveness + simulator version
 GET      /v1/stats               dedup counters, job table, cache stats
+GET      /v1/metrics             Prometheus text exposition (not JSON):
+                                 request counts/latency per route,
+                                 dedup/cache counters, job states,
+                                 warm-runtime memo counters
 POST     /v1/submit              spec in body; ``?wait=1`` long-polls
                                  until the point is terminal
 POST     /v1/campaign            campaign document in body (optionally
@@ -61,9 +65,10 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.observatory.progress import ProgressEvent
 from repro.service.protocol import (
@@ -73,6 +78,7 @@ from repro.service.protocol import (
     send_error,
     send_json,
     send_ndjson_line,
+    send_text,
     start_ndjson_stream,
 )
 from repro.service.spec import ExperimentSpec, SpecError
@@ -150,6 +156,9 @@ class ExperimentServer:
             "cache_hits": 0,      # submits answered from the cache
             "campaigns": 0,       # POST /v1/campaign documents expanded
         }
+        #: per-(route, method) request accounting for /v1/metrics:
+        #: [count, total latency seconds].  Loop-thread only.
+        self.request_stats: Dict[Tuple[str, str], List[float]] = {}
         self._executor = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -242,10 +251,25 @@ class ExperimentServer:
         route = parts[1] if len(parts) > 1 else ""
         tail = parts[2] if len(parts) > 2 else None
 
+        t0 = time.monotonic()
+        try:
+            await self._route(req, writer, route, tail)
+        finally:
+            # one [count, latency-seconds] cell per (route, method);
+            # loop-thread only, so a plain dict needs no lock.
+            cell = self.request_stats.setdefault(
+                (route or "/", req.method), [0, 0.0])
+            cell[0] += 1
+            cell[1] += time.monotonic() - t0
+
+    async def _route(self, req: Request, writer, route: str,
+                     tail: Optional[str]) -> None:
         if route == "health" and req.method == "GET":
             await self._handle_health(writer)
         elif route == "stats" and req.method == "GET":
             await self._handle_stats(writer)
+        elif route == "metrics" and req.method == "GET":
+            await self._handle_metrics(writer)
         elif route == "submit" and req.method == "POST":
             await self._handle_submit(req, writer)
         elif route == "campaign" and req.method == "POST":
@@ -263,9 +287,9 @@ class ExperimentServer:
         elif route == "shutdown" and req.method == "POST":
             await send_json(writer, {"ok": True, "stopping": True})
             self.request_stop()
-        elif route in ("health", "stats", "submit", "campaign", "result",
-                       "events", "history", "diff", "regress",
-                       "shutdown"):
+        elif route in ("health", "stats", "metrics", "submit",
+                       "campaign", "result", "events", "history",
+                       "diff", "regress", "shutdown"):
             await send_error(writer, 405,
                              f"{req.method} not allowed on {req.path!r}")
         else:
@@ -294,6 +318,86 @@ class ExperimentServer:
                 "stats": self.cache.stats.summary(),
             },
         })
+
+    async def _handle_metrics(self, writer) -> None:
+        """Prometheus text exposition of every passive counter the
+        server holds: request accounting, dedup/cache counters, the
+        job table by state, and the warm runtime's memo counters.
+        Read-only — a scrape allocates nothing in the simulator."""
+        from repro.insight.metrics_plane import (
+            PROMETHEUS_CONTENT_TYPE,
+            MetricFamily,
+            render_exposition,
+            runtime_metric_families,
+        )
+
+        loop = asyncio.get_running_loop()
+        # the two filesystem-backed sizes off the loop thread
+        cache_entries = await loop.run_in_executor(
+            None, len, self.cache)
+        ledger_records = await loop.run_in_executor(
+            None, len, self.ledger)
+
+        requests = MetricFamily(
+            "repro_server_requests_total", "counter",
+            "HTTP requests handled, by route and method.")
+        latency = MetricFamily(
+            "repro_server_request_seconds_total", "counter",
+            "Cumulative request handling time, by route and method.")
+        for (route, method), (count, seconds) in sorted(
+                self.request_stats.items()):
+            requests.add(count, route=route, method=method)
+            latency.add(round(seconds, 6), route=route, method=method)
+
+        ops = MetricFamily(
+            "repro_server_ops_total", "counter",
+            "Dedup intake outcomes: submissions parsed, jobs "
+            "dispatched, waiters attached, cache answers, campaigns "
+            "expanded.")
+        for op in sorted(self.counters):
+            ops.add(self.counters[op], op=op)
+
+        jobs = MetricFamily(
+            "repro_server_jobs", "gauge",
+            "Jobs in the table by state (terminal jobs linger until "
+            "their key is retried).")
+        by_state = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            by_state[job.status] = by_state.get(job.status, 0) + 1
+        for state in JOB_STATES:
+            jobs.add(by_state.get(state, 0), state=state)
+        in_flight = sum(1 for j in self.jobs.values() if not j.terminal)
+
+        cache_ops = MetricFamily(
+            "repro_cache_ops_total", "counter",
+            "Result-cache operations in this server process.")
+        stats = self.cache.stats
+        for op in ("hits", "misses", "stores", "corrupt",
+                   "uncacheable", "io_errors", "sidecar_skips"):
+            cache_ops.add(getattr(stats, op, 0), op=op)
+
+        families = [
+            requests, latency, ops, jobs,
+            MetricFamily(
+                "repro_server_jobs_in_flight", "gauge",
+                "Jobs currently queued or running.").add(in_flight),
+            MetricFamily(
+                "repro_server_pool_width", "gauge",
+                "Worker-pool width (occupancy ceiling).",
+            ).add(self.pool_width()),
+            cache_ops,
+            MetricFamily(
+                "repro_cache_entries", "gauge",
+                "Entries in the shared result cache.",
+            ).add(cache_entries),
+            MetricFamily(
+                "repro_history_records", "gauge",
+                "Records in the history ledger.",
+            ).add(ledger_records),
+        ]
+        families.extend(runtime_metric_families())
+        await send_text(writer, render_exposition(families),
+                        content_type=PROMETHEUS_CONTENT_TYPE)
 
     async def _handle_submit(self, req: Request, writer) -> None:
         loop = asyncio.get_running_loop()
@@ -550,7 +654,13 @@ class ExperimentServer:
     # job execution
     # ------------------------------------------------------------------
     async def _emit(self, job: Job, **kwargs) -> None:
-        """Append one typed progress event and wake streamers."""
+        """Append one typed progress event and wake streamers.
+
+        Every event inherits the spec's submission-time ``trace_id``
+        (empty on untraced specs, and then absent from the NDJSON
+        line) so ``/v1/events`` streams correlate end to end.
+        """
+        kwargs.setdefault("trace_id", job.spec.trace_id)
         async with job.cond:
             job.events.append(ProgressEvent(**kwargs).to_dict())
             job.cond.notify_all()

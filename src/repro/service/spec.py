@@ -71,6 +71,10 @@ class ExperimentSpec:
     config: Dict[str, Any] = field(default_factory=dict)
     faults: Optional[Dict[str, Any]] = None
     label: str = ""
+    #: end-to-end correlation id (repro.insight.trace).  Annotation
+    #: only: serialized when set, but never part of :meth:`run_key` —
+    #: two specs differing only in trace_id share one cache entry.
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -99,6 +103,8 @@ class ExperimentSpec:
             out["faults"] = self.faults
         if self.label != f"{self.design}/{self.workload}":
             out["label"] = self.label
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         return out
 
     # ------------------------------------------------------------------

@@ -76,6 +76,39 @@ MAX_CAMP_LINES = 200_000
 
 
 # ----------------------------------------------------------------------
+# runtime counters (observability only)
+# ----------------------------------------------------------------------
+#: plain-int process-wide counters the metrics plane exports through
+#: ``GET /v1/metrics`` (see :mod:`repro.insight.metrics_plane`).  Pure
+#: bookkeeping: nothing in the simulation reads them, and bumping a
+#: dict entry is cheap enough for the paths that do (pool startup, shm
+#: segment lifecycle, LPT planning — never the per-access hot path).
+_RUNTIME_COUNTERS: Dict[str, int] = {}
+
+
+def _bump(name: str, amount: int = 1) -> None:
+    _RUNTIME_COUNTERS[name] = _RUNTIME_COUNTERS.get(name, 0) + amount
+
+
+def runtime_counters() -> Dict[str, int]:
+    """A passive snapshot of this process's runtime counters.
+
+    Merges the event counters above with the memo hit/miss stats of
+    this process's :class:`ProcessMemos` — *without* creating memos:
+    scraping an idle process reports zeros instead of allocating warm
+    state (the zero-overhead telemetry contract extends to metrics).
+    """
+    snap = dict(_RUNTIME_COUNTERS)
+    memos = _MEMOS
+    if memos is not None:
+        import dataclasses
+
+        for field in dataclasses.fields(memos.stats):
+            snap[f"memo_{field.name}"] = getattr(memos.stats, field.name)
+    return snap
+
+
+# ----------------------------------------------------------------------
 # per-process memo caches
 # ----------------------------------------------------------------------
 @dataclass
@@ -430,26 +463,31 @@ class SharedWorkloadStore:
             return None  # fall back to the cold workload spec
         shm.buf[: len(blob)] = blob
         self._segments[token] = (shm, len(blob))
+        _bump("shm_segments_created")
+        _bump("shm_segments_open")
+        _bump("shm_bytes_open", len(blob))
         while len(self._segments) > MAX_SHM_SEGMENTS:
-            _, (old, _size) = self._segments.popitem(last=False)
-            self._release(old)
+            _, (old, old_size) = self._segments.popitem(last=False)
+            self._release(old, old_size)
         return (shm.name, len(blob))
 
     @staticmethod
-    def _release(shm) -> None:
+    def _release(shm, size: int = 0) -> None:
         for step in (shm.close, shm.unlink):
             try:
                 step()
             except Exception:
                 pass
+        _bump("shm_segments_open", -1)
+        _bump("shm_bytes_open", -size)
 
     def close(self) -> None:
         """Unlink every segment (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        for shm, _size in self._segments.values():
-            self._release(shm)
+        for shm, size in self._segments.values():
+            self._release(shm, size)
         self._segments.clear()
         with contextlib.suppress(Exception):
             atexit.unregister(self.close)
@@ -568,6 +606,7 @@ class WorkerRuntime:
             self._pool = multiprocessing.Pool(
                 processes=self._pool_width, initializer=_worker_init
             )
+            _bump("warm_pools_started")
         return self._pool
 
     @property
@@ -707,4 +746,6 @@ def lpt_order(points: Sequence, ledger=None) -> List[int]:
     preds = predicted_wall_times(points, ledger=ledger)
     if preds is None:
         return order
+    _bump("lpt_orders")
+    _bump("lpt_predicted_points", len(points))
     return sorted(order, key=lambda i: (-preds[i], i))

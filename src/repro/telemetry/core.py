@@ -40,6 +40,13 @@ from repro.telemetry.timeline import DEFAULT_CAPACITY, Timeline
 #: min/mean/max aggregates (the full vectors stay in the sampler).
 _PER_UNIT_TRACK_LIMIT = 32
 
+#: telemetry-summary schema version.  Version 1 summaries (written
+#: before the version field existed) carry no ``version`` key and are
+#: read back as 1; bump this when the summary layout changes so the
+#: diff engine can warn on cross-version comparisons instead of
+#: silently comparing incompatible sidecars.
+SUMMARY_VERSION = 2
+
 
 @dataclass
 class TelemetrySummary:
@@ -58,6 +65,9 @@ class TelemetrySummary:
     samples: int = 0
     link_matrix: Optional[list] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: schema version of this summary; pre-versioning sidecars (no
+    #: ``version`` key on disk) deserialize as 1.
+    version: int = SUMMARY_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -68,6 +78,7 @@ class TelemetrySummary:
             "samples": self.samples,
             "link_matrix": self.link_matrix,
             "meta": dict(self.meta),
+            "version": self.version,
         }
 
     @classmethod
@@ -80,6 +91,7 @@ class TelemetrySummary:
             samples=int(data.get("samples", 0)),
             link_matrix=data.get("link_matrix"),
             meta=dict(data.get("meta", {})),
+            version=int(data.get("version", 1)),
         )
 
     def digest(self, max_counters: int = 32) -> Dict[str, Any]:
@@ -107,6 +119,7 @@ class TelemetrySummary:
             "counters": head,
             "events": self.events,
             "samples": self.samples,
+            "version": self.version,
         }
 
 
